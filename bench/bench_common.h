@@ -1,0 +1,62 @@
+// Shared plumbing for the per-figure/table benchmark binaries.
+//
+// Every binary registers its sweep as google-benchmark instances (one row
+// per configuration) and reports the modeled metrics as counters:
+//   Mops    modeled throughput (virtual time; see DESIGN.md §1)
+//   XBI     XBI-amplification (media bytes / user bytes)
+//   CLI     CLI-amplification (XPBuffer bytes / user bytes)
+// plus experiment-specific counters. Wall time shown by the harness is the
+// host execution time and is NOT the reported metric.
+//
+// Scaling: the paper uses 50 M warm + 50 M op datasets; binaries default to
+// a laptop-friendly scale and honor CCL_BENCH_SCALE (number of measured ops;
+// warm keys scale with it) so the full-size runs remain possible.
+#ifndef BENCH_BENCH_COMMON_H_
+#define BENCH_BENCH_COMMON_H_
+
+#include <cstdlib>
+#include <string>
+
+#include <benchmark/benchmark.h>
+
+#include "src/bench/driver.h"
+
+namespace cclbt::bench {
+
+inline uint64_t BenchScale(uint64_t default_ops = 400'000) {
+  const char* env = std::getenv("CCL_BENCH_SCALE");
+  if (env != nullptr) {
+    uint64_t v = std::strtoull(env, nullptr, 10);
+    if (v > 0) {
+      return v;
+    }
+  }
+  return default_ops;
+}
+
+inline void SetCommonCounters(benchmark::State& state, const RunResult& result) {
+  state.counters["Mops"] = result.mops;
+  state.counters["XBI"] = result.xbi_amplification;
+  state.counters["CLI"] = result.cli_amplification;
+  state.counters["virt_ms"] = result.elapsed_virtual_ms;
+}
+
+inline void SetLatencyCounters(benchmark::State& state, const RunResult& result) {
+  state.counters["p50_us"] = static_cast<double>(result.latency.Percentile(50)) / 1e3;
+  state.counters["p90_us"] = static_cast<double>(result.latency.Percentile(90)) / 1e3;
+  state.counters["p99_us"] = static_cast<double>(result.latency.Percentile(99)) / 1e3;
+  state.counters["p999_us"] = static_cast<double>(result.latency.Percentile(99.9)) / 1e3;
+  state.counters["min_us"] = static_cast<double>(result.latency.Min()) / 1e3;
+}
+
+// Runs the workload once inside the benchmark state loop.
+template <typename Fn>
+void RunOnce(benchmark::State& state, Fn&& fn) {
+  for (auto _ : state) {
+    fn(state);
+  }
+}
+
+}  // namespace cclbt::bench
+
+#endif  // BENCH_BENCH_COMMON_H_

@@ -1,0 +1,102 @@
+// Figure 2: the motivating microbenchmark. (a) fixes the number of XPLine
+// flushes and raises cacheline flushes per write; (b) fixes cacheline
+// flushes and raises XPLine flushes per write. On real DCPMM execution time
+// converges across (a)'s configurations as threads saturate the bandwidth,
+// but grows linearly with (b)'s XPLine count — XBI, not CLI, bounds
+// performance. The bench drives the simulator directly (no index).
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/common/rng.h"
+#include "src/pmsim/device.h"
+
+namespace cclbt::bench {
+namespace {
+
+// Each worker performs `writes` operations; an operation touches `lines`
+// cachelines spread over `xplines` distinct random XPLines, then fences.
+double RunRawFlushWorkload(int threads, int lines, int xplines, uint64_t writes_per_thread) {
+  pmsim::DeviceConfig config;
+  config.pool_bytes = 1ULL << 30;
+  pmsim::PmDevice device(config);
+  std::vector<std::unique_ptr<pmsim::ThreadContext>> ctxs;
+  std::vector<Rng> rngs;
+  for (int w = 0; w < threads; w++) {
+    ctxs.push_back(std::make_unique<pmsim::ThreadContext>(device, w < 48 ? 0 : 1, w));
+    rngs.emplace_back(static_cast<uint64_t>(w) + 7);
+  }
+  pmsim::ThreadContext::SetCurrent(nullptr);
+  const uint64_t kRegionXplines = (config.pool_bytes / 2) / pmsim::kXplineBytes - 16;
+  std::vector<uint64_t> remaining(static_cast<size_t>(threads), writes_per_thread);
+  bool any = true;
+  while (any) {
+    any = false;
+    for (int w = 0; w < threads; w++) {
+      auto& left = remaining[static_cast<size_t>(w)];
+      if (left == 0) {
+        continue;
+      }
+      any = true;
+      pmsim::ThreadContext& ctx = *ctxs[static_cast<size_t>(w)];
+      pmsim::ThreadContext::SetCurrent(&ctx);
+      // One write: `lines` flushes spread across `xplines` random XPLines.
+      for (int x = 0; x < xplines; x++) {
+        uint64_t xpline = rngs[static_cast<size_t>(w)].NextBounded(kRegionXplines) + 16;
+        uint64_t base = xpline * pmsim::kXplineBytes;
+        int lines_here = std::max(1, lines / xplines);
+        for (int l = 0; l < lines_here; l++) {
+          device.FlushLine(ctx, device.base() + base + static_cast<uint64_t>(l) * 64);
+        }
+      }
+      device.Fence(ctx);
+      left--;
+    }
+  }
+  pmsim::ThreadContext::SetCurrent(nullptr);
+  uint64_t elapsed = device.MaxDimmBusyNs();
+  for (auto& ctx : ctxs) {
+    elapsed = std::max(elapsed, ctx->now_ns());
+  }
+  return static_cast<double>(elapsed) / 1e6;  // modeled ms
+}
+
+void RegisterAll() {
+  uint64_t writes = BenchScale(100'000) / 2;
+  for (int threads : {1, 12, 24, 36, 48}) {
+    // (a) N cacheline flushes into ONE XPLine per write.
+    for (int lines : {1, 2, 3, 4}) {
+      std::string name = "fig02a/cachelines:" + std::to_string(lines) +
+                         "/threads:" + std::to_string(threads);
+      benchmark::RegisterBenchmark(name.c_str(), [=](benchmark::State& state) {
+        for (auto _ : state) {
+          double ms = RunRawFlushWorkload(threads, lines, 1, writes / static_cast<uint64_t>(threads));
+          state.counters["exec_ms"] = ms;
+        }
+      })->Iterations(1)->Unit(benchmark::kMillisecond);
+    }
+    // (b) 4 cacheline flushes spread over N XPLines per write.
+    for (int xplines : {1, 2, 3, 4}) {
+      std::string name =
+          "fig02b/xplines:" + std::to_string(xplines) + "/threads:" + std::to_string(threads);
+      benchmark::RegisterBenchmark(name.c_str(), [=](benchmark::State& state) {
+        for (auto _ : state) {
+          double ms =
+              RunRawFlushWorkload(threads, 4, xplines, writes / static_cast<uint64_t>(threads));
+          state.counters["exec_ms"] = ms;
+        }
+      })->Iterations(1)->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cclbt::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  cclbt::bench::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

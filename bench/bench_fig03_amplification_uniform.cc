@@ -1,0 +1,41 @@
+// Figure 3: CLI- and XBI-amplification plus execution time of every index
+// under a uniform upsert workload at 48 threads (warm half the keys, then
+// upsert the rest — the paper's 50 M + 50 M protocol, scaled).
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace cclbt::bench {
+namespace {
+
+void RegisterAll() {
+  uint64_t scale = BenchScale();
+  const std::vector<std::string> kIndexes = {"fptree",  "fastfair", "dptree",  "utree",
+                                             "lbtree",  "pactree",  "flatstore", "cclbtree"};
+  for (const std::string& name : kIndexes) {
+    benchmark::RegisterBenchmark(("fig03/" + name).c_str(), [=](benchmark::State& state) {
+      for (auto _ : state) {
+        RunConfig config;
+        config.threads = 48;
+        config.warm_keys = scale;
+        config.ops = scale;
+        config.op = OpType::kInsert;
+        config.dist = KeyDistribution::kUniform;
+        RunResult result = RunIndexWorkload(name, config);
+        SetCommonCounters(state, result);
+        state.counters["exec_ms"] = result.elapsed_virtual_ms;
+      }
+    })->Iterations(1)->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+}  // namespace cclbt::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  cclbt::bench::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

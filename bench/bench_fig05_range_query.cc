@@ -1,0 +1,43 @@
+// Figure 5: range-query throughput with 48 threads while varying the scan
+// size from 50 to 400 KVs. FlatStore collapses (random log reads per KV);
+// the B+-trees stay fast because adjacent keys share leaves.
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace cclbt::bench {
+namespace {
+
+void RegisterAll() {
+  uint64_t scale = BenchScale();
+  const std::vector<std::string> kIndexes = {"cclbtree", "lbtree",  "fptree", "fastfair",
+                                             "pactree",  "dptree",  "utree",  "flatstore"};
+  for (const std::string& name : kIndexes) {
+    for (size_t scan_len : {50, 100, 200, 400}) {
+      std::string bench_name = "fig05/" + name + "/scan:" + std::to_string(scan_len);
+      benchmark::RegisterBenchmark(bench_name.c_str(), [=](benchmark::State& state) {
+        for (auto _ : state) {
+          RunConfig config;
+          config.threads = 48;
+          config.warm_keys = 2 * scale;  // scan over a populated index
+          config.ops = scale / 20;
+          config.op = OpType::kScan;
+          config.scan_len = scan_len;
+          RunResult result = RunIndexWorkload(name, config);
+          SetCommonCounters(state, result);
+        }
+      })->Iterations(1)->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cclbt::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  cclbt::bench::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

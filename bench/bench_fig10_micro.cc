@@ -1,0 +1,55 @@
+// Figure 10: the micro-benchmark grid — insert / update / delete / search /
+// scan throughput of every persistent B+-tree, sweeping the thread count.
+// CCL-BTree should keep scaling past the point where the others' random
+// XPLine writes exhaust PM bandwidth.
+#include <string>
+
+#include "bench/bench_common.h"
+
+namespace cclbt::bench {
+namespace {
+
+struct OpSpec {
+  const char* name;
+  OpType op;
+};
+
+void RegisterAll() {
+  uint64_t scale = BenchScale();
+  constexpr OpSpec kOps[] = {{"insert", OpType::kInsert},
+                             {"update", OpType::kUpdate},
+                             {"delete", OpType::kDelete},
+                             {"search", OpType::kRead},
+                             {"scan", OpType::kScan}};
+  for (const auto& spec : kOps) {
+    for (const std::string& name : TreeIndexNames()) {
+      for (int threads : {1, 24, 48, 72, 96}) {
+        std::string bench_name =
+            std::string("fig10/") + spec.name + "/" + name + "/threads:" + std::to_string(threads);
+        OpType op = spec.op;
+        benchmark::RegisterBenchmark(bench_name.c_str(), [=](benchmark::State& state) {
+          for (auto _ : state) {
+            RunConfig config;
+            config.threads = threads;
+            config.warm_keys = scale;
+            config.ops = op == OpType::kScan ? scale / 20 : scale;
+            config.op = op;
+            config.scan_len = 100;
+            RunResult result = RunIndexWorkload(name, config);
+            SetCommonCounters(state, result);
+          }
+        })->Iterations(1)->Unit(benchmark::kMillisecond);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cclbt::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  cclbt::bench::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Figure 11: YCSB-style macro workloads (insert-only, insert-intensive,
+// read-intensive, read-only, scan-insert), sweeping the thread count.
+#include <string>
+
+#include "bench/bench_common.h"
+
+namespace cclbt::bench {
+namespace {
+
+void RegisterAll() {
+  uint64_t scale = BenchScale();
+  for (const YcsbMix* mix : {&kYcsbInsertOnly, &kYcsbInsertIntensive, &kYcsbReadIntensive,
+                             &kYcsbReadOnly, &kYcsbScanInsert}) {
+    for (const std::string& name : TreeIndexNames()) {
+      for (int threads : {1, 24, 48, 72, 96}) {
+        std::string bench_name = std::string("fig11/") + mix->name + "/" + name +
+                                 "/threads:" + std::to_string(threads);
+        benchmark::RegisterBenchmark(bench_name.c_str(), [=](benchmark::State& state) {
+          for (auto _ : state) {
+            RunConfig config;
+            config.threads = threads;
+            config.warm_keys = scale;
+            // Scan-heavy mixes do far fewer (but much bigger) ops.
+            config.ops = mix->scan_pct > 50 ? scale / 20 : scale;
+            config.mix = mix;
+            config.scan_len = 100;
+            RunResult result = RunIndexWorkload(name, config);
+            SetCommonCounters(state, result);
+          }
+        })->Iterations(1)->Unit(benchmark::kMillisecond);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cclbt::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  cclbt::bench::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

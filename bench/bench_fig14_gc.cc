@@ -1,0 +1,108 @@
+// Figure 14: insert-throughput timeline under the three GC strategies
+// (w/o GC, naive GC, locality-aware GC). The tree is populated and its
+// buffers drained, then inserts run while throughput is sampled per window
+// of operations; GC fires when the TH_log trigger is reached. Naive GC's
+// random flush-back craters the insert rate; locality-aware GC barely
+// registers.
+//
+// This binary prints the timeline as a table (a series does not fit the
+// google-benchmark counter model).
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/core/ccl_btree.h"
+
+namespace cclbt::bench {
+namespace {
+
+void RunTimeline(core::GcMode mode, const char* label, uint64_t scale) {
+  kvindex::RuntimeOptions runtime_options;
+  runtime_options.device.pool_bytes = 4ULL << 30;
+  kvindex::Runtime runtime(runtime_options);
+  core::TreeOptions tree_options;
+  tree_options.gc_mode = mode;
+  tree_options.background_gc = false;  // the bench drives GC at the trigger
+  core::CclBTree tree(runtime, tree_options);
+
+  const int kThreads = 48;
+  // Populate and drain all buffers (paper: "populate ... and clean all
+  // buffer nodes").
+  {
+    pmsim::ThreadContext ctx(runtime.device(), 0, 0);
+    for (uint64_t i = 0; i < scale; i++) {
+      tree.Upsert(Mix64(i) | 1, i + 1);
+    }
+    tree.FlushAll();
+  }
+  runtime.device().ResetCosts();
+
+  std::vector<std::unique_ptr<pmsim::ThreadContext>> ctxs;
+  for (int w = 0; w < kThreads; w++) {
+    ctxs.push_back(std::make_unique<pmsim::ThreadContext>(runtime.device(), 0, w));
+  }
+  auto gc_ctx = std::make_unique<pmsim::ThreadContext>(runtime.device(), 0, 128);
+  pmsim::ThreadContext::SetCurrent(nullptr);
+
+  const uint64_t kTotalOps = scale;
+  const uint64_t kWindow = kTotalOps / 24;
+  uint64_t done = 0;
+  uint64_t window_start_vtime = 0;
+  std::printf("%-14s %10s %10s %10s %8s\n", label, "t_ms", "Mops", "log_MB", "gc#");
+  while (done < kTotalOps) {
+    uint64_t window_end = std::min(kTotalOps, done + kWindow);
+    uint64_t ops_in_window = window_end - done;
+    while (done < window_end) {
+      for (int w = 0; w < kThreads && done < window_end; w++) {
+        pmsim::ThreadContext::SetCurrent(ctxs[static_cast<size_t>(w)].get());
+        uint64_t i = scale + done;
+        tree.Upsert(Mix64(i) | 1, i + 1);
+        done++;
+      }
+    }
+    // GC trigger check between windows (the paper's background thread; here
+    // synchronous so the timeline is deterministic).
+    if (mode != core::GcMode::kNone && tree.GcTriggerReached()) {
+      // The GC worker's clock starts from the foreground frontier.
+      uint64_t frontier = 0;
+      for (auto& ctx : ctxs) {
+        frontier = std::max(frontier, ctx->now_ns());
+      }
+      gc_ctx->ResetClock(frontier);
+      pmsim::ThreadContext::SetCurrent(gc_ctx.get());
+      tree.RunGcOnce();
+      if (mode == core::GcMode::kNaive) {
+        // Naive GC stops the world: every foreground thread stalls until the
+        // flush-back completes (§3.4).
+        for (auto& ctx : ctxs) {
+          ctx->ResetClock(std::max(ctx->now_ns(), gc_ctx->now_ns()));
+        }
+      }
+    }
+    pmsim::ThreadContext::SetCurrent(nullptr);
+    uint64_t vtime = runtime.device().MaxDimmBusyNs();
+    for (auto& ctx : ctxs) {
+      vtime = std::max(vtime, ctx->now_ns());
+    }
+    double window_ms = static_cast<double>(vtime - window_start_vtime) / 1e6;
+    double mops = window_ms == 0 ? 0 : static_cast<double>(ops_in_window) / (window_ms * 1e3);
+    std::printf("%-14s %10.2f %10.2f %10.2f %8lu\n", label,
+                static_cast<double>(vtime) / 1e6, mops,
+                static_cast<double>(tree.log_live_bytes()) / 1e6,
+                static_cast<unsigned long>(tree.gc_rounds()));
+    window_start_vtime = vtime;
+  }
+}
+
+}  // namespace
+}  // namespace cclbt::bench
+
+int main() {
+  uint64_t scale = cclbt::bench::BenchScale();
+  cclbt::bench::RunTimeline(cclbt::core::GcMode::kNone, "w/o-GC", scale);
+  cclbt::bench::RunTimeline(cclbt::core::GcMode::kLocalityAware, "locality-GC", scale);
+  cclbt::bench::RunTimeline(cclbt::core::GcMode::kNaive, "naive-GC", scale);
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Figure 15(a): skew sensitivity — 50% lookup / 50% upsert over warmed keys
+// with the Zipfian coefficient swept from 0.5 to 0.99 at 48 threads.
+// CCL-BTree gains with skew (hot keys are absorbed by buffer nodes).
+#include <string>
+
+#include "bench/bench_common.h"
+
+namespace cclbt::bench {
+namespace {
+
+// 50% read / 50% update (remainder of the mix percentages maps to update).
+constexpr YcsbMix kLookupUpsert{"lookup-upsert", 0, 50, 0};
+
+void RegisterAll() {
+  uint64_t scale = BenchScale();
+  for (double theta : {0.5, 0.6, 0.7, 0.8, 0.9, 0.99}) {
+    for (const std::string& name : TreeIndexNames()) {
+      std::string bench_name =
+          "fig15a/" + name + "/theta:" + std::to_string(theta).substr(0, 4);
+      benchmark::RegisterBenchmark(bench_name.c_str(), [=](benchmark::State& state) {
+        for (auto _ : state) {
+          RunConfig config;
+          config.threads = 48;
+          config.warm_keys = scale;
+          config.ops = scale;
+          config.mix = &kLookupUpsert;
+          config.dist = KeyDistribution::kZipfian;
+          config.zipf_theta = theta;
+          RunResult result = RunIndexWorkload(name, config);
+          SetCommonCounters(state, result);
+        }
+      })->Iterations(1)->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cclbt::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  cclbt::bench::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Table 1: sensitivity of N_batch (buffered KVs per buffer node, 1..5) at 48
+// threads — insert/search throughput, media writes, DRAM hits, and DRAM/PM
+// usage. Larger batches cut media writes and raise DRAM hit rates at the
+// cost of buffer-node memory.
+#include <string>
+
+#include "bench/bench_common.h"
+#include "src/core/ccl_btree.h"
+
+namespace cclbt::bench {
+namespace {
+
+void RegisterAll() {
+  uint64_t scale = BenchScale();
+  for (int nbatch = 1; nbatch <= 5; nbatch++) {
+    std::string bench_name = "tab1/nbatch:" + std::to_string(nbatch);
+    benchmark::RegisterBenchmark(bench_name.c_str(), [=](benchmark::State& state) {
+      for (auto _ : state) {
+        kvindex::RuntimeOptions runtime_options;
+        runtime_options.device.pool_bytes = 2ULL << 30;
+        kvindex::Runtime runtime(runtime_options);
+        core::TreeOptions tree_options;
+        tree_options.nbatch = nbatch;
+        core::CclBTree tree(runtime, tree_options);
+
+        RunConfig insert_config;
+        insert_config.threads = 48;
+        insert_config.warm_keys = scale;
+        insert_config.ops = scale;
+        insert_config.op = OpType::kInsert;
+        RunResult insert = RunWorkload(runtime, tree, insert_config);
+
+        uint64_t hits_before = tree.dram_hits();
+        RunConfig search_config = insert_config;
+        search_config.warm_keys = 0;  // index is already populated
+        search_config.op = OpType::kRead;
+        // Reads target the measured insert range.
+        search_config.warm_keys = scale;
+        RunResult search = RunWorkload(runtime, tree, search_config);
+
+        state.counters["insert_Mops"] = insert.mops;
+        state.counters["media_write_MB"] =
+            static_cast<double>(insert.stats.media_write_bytes) / 1e6;
+        state.counters["search_Mops"] = search.mops;
+        state.counters["dram_hits_K"] =
+            static_cast<double>(tree.dram_hits() - hits_before) / 1e3;
+        auto footprint = tree.Footprint();
+        state.counters["DRAM_MB"] = static_cast<double>(footprint.dram_bytes) / 1e6;
+        state.counters["PM_MB"] = static_cast<double>(footprint.pm_bytes) / 1e6;
+        state.counters["XBI"] = insert.xbi_amplification;
+      }
+    })->Iterations(1)->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+}  // namespace cclbt::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  cclbt::bench::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

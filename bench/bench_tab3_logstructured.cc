@@ -1,0 +1,46 @@
+// Table 3: CCL-BTree vs the log-structured stores (FlatStore reimplemented
+// per its paper, RocksDB-PM stand-in). FlatStore wins raw inserts slightly;
+// CCL-BTree dominates scans; the LSM loses everywhere.
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace cclbt::bench {
+namespace {
+
+void RegisterAll() {
+  uint64_t scale = BenchScale();
+  constexpr std::pair<const char*, OpType> kOps[] = {{"insert", OpType::kInsert},
+                                                     {"search", OpType::kRead},
+                                                     {"scan", OpType::kScan}};
+  const std::vector<std::string> kIndexes = {"lsmstore", "flatstore", "cclbtree"};
+  for (const std::string& name : kIndexes) {
+    for (const auto& [op_name, op] : kOps) {
+      std::string bench_name = std::string("tab3/") + name + "/" + op_name;
+      OpType op_copy = op;
+      benchmark::RegisterBenchmark(bench_name.c_str(), [=](benchmark::State& state) {
+        for (auto _ : state) {
+          RunConfig config;
+          config.threads = 48;
+          config.warm_keys = scale;
+          config.ops = op_copy == OpType::kScan ? scale / 20 : scale;
+          config.op = op_copy;
+          config.scan_len = 100;
+          RunResult result = RunIndexWorkload(name, config);
+          SetCommonCounters(state, result);
+        }
+      })->Iterations(1)->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cclbt::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  cclbt::bench::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

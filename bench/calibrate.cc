@@ -1,0 +1,45 @@
+// Calibration probe (not a paper experiment): prints insert/search/scan
+// throughput and amplification for every index at 48 threads so the cost
+// model can be sanity-checked against the paper's Figures 3/10 shapes.
+#include <cstdio>
+
+#include "src/bench/driver.h"
+
+using namespace cclbt;
+using namespace cclbt::bench;
+
+int main(int argc, char** argv) {
+  uint64_t scale = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 200'000;
+  std::printf("%-12s %10s %8s %8s %8s %8s %10s %9s %8s %10s %12s %12s\n", "index", "insertMops", "CLI",
+              "XBI", "mW/op", "mR/op", "searchMops", "s_mR/op", "s_hit%", "scanMops", "ins w/b ms", "scan w/b ms");
+  for (const auto& name : AllIndexNames()) {
+    RunConfig config;
+    config.threads = 48;
+    config.warm_keys = scale;
+    config.ops = scale;
+    config.op = OpType::kInsert;
+    RunResult insert = RunIndexWorkload(name, config);
+
+    RunConfig read_config = config;
+    read_config.op = OpType::kRead;
+    RunResult read = RunIndexWorkload(name, read_config);
+
+    RunConfig scan_config = config;
+    scan_config.op = OpType::kScan;
+    scan_config.ops = scale / 20;
+    scan_config.scan_len = 100;
+    RunResult scan = RunIndexWorkload(name, scan_config);
+
+    double ops = static_cast<double>(scale);
+    std::printf("%-12s %10.2f %8.2f %8.2f %8.2f %8.2f %10.2f %9.2f %8.1f %10.3f %7.1f/%-7.1f %7.1f/%-7.1f\n",
+                name.c_str(), insert.mops, insert.cli_amplification, insert.xbi_amplification,
+                static_cast<double>(insert.stats.media_write_bytes) / 256 / ops,
+                static_cast<double>(insert.stats.media_read_bytes) / 256 / ops, read.mops,
+                static_cast<double>(read.stats.media_read_bytes) / 256 / ops,
+                100.0 * static_cast<double>(read.stats.pm_read_hits) /
+                    static_cast<double>(read.stats.pm_reads == 0 ? 1 : read.stats.pm_reads),
+                scan.mops, insert.max_worker_vtime_ms, insert.max_dimm_busy_ms, scan.max_worker_vtime_ms, scan.max_dimm_busy_ms);
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Interactive KV shell over a CCL-BTree: a tiny REPL showing the public API
+// plus the simulator's hardware counters.
+//
+//   $ ./build/examples/kv_shell
+//   > put 10 100
+//   > get 10
+//   100
+//   > scan 5 3
+//   10=100 ...
+//   > del 10
+//   > stats
+//   > crash        (power-fail + recover in place)
+//   > quit
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "src/core/ccl_btree.h"
+
+int main() {
+  using namespace cclbt;
+
+  kvindex::RuntimeOptions runtime_options;
+  runtime_options.device.pool_bytes = 1ULL << 30;
+  kvindex::Runtime runtime(runtime_options);
+  core::TreeOptions options;
+  auto tree = std::make_unique<core::CclBTree>(runtime, options);
+  auto ctx = std::make_unique<pmsim::ThreadContext>(runtime.device(), 0, 0);
+
+  std::printf("ccl-btree shell — commands: put <k> <v> | get <k> | del <k> | "
+              "scan <k> <n> | stats | crash | quit\n");
+  std::string line;
+  while (std::printf("> "), std::fflush(stdout), std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd == "quit" || cmd == "exit") {
+      break;
+    } else if (cmd == "put") {
+      uint64_t key = 0;
+      uint64_t value = 0;
+      if (in >> key >> value && key != 0 && value != 0) {
+        tree->Upsert(key, value);
+      } else {
+        std::printf("usage: put <key!=0> <value!=0>\n");
+      }
+    } else if (cmd == "get") {
+      uint64_t key = 0;
+      in >> key;
+      uint64_t value = 0;
+      if (tree->Lookup(key, &value)) {
+        std::printf("%llu\n", (unsigned long long)value);
+      } else {
+        std::printf("(nil)\n");
+      }
+    } else if (cmd == "del") {
+      uint64_t key = 0;
+      in >> key;
+      tree->Remove(key);
+    } else if (cmd == "scan") {
+      uint64_t key = 0;
+      size_t count = 10;
+      in >> key >> count;
+      std::vector<kvindex::KeyValue> out(count);
+      size_t n = tree->Scan(key, count, out.data());
+      for (size_t i = 0; i < n; i++) {
+        std::printf("%llu=%llu ", (unsigned long long)out[i].key,
+                    (unsigned long long)out[i].value);
+      }
+      std::printf("(%zu)\n", n);
+    } else if (cmd == "stats") {
+      auto stats = runtime.device().stats().Snapshot();
+      auto footprint = tree->Footprint();
+      std::printf("flushes=%llu fences=%llu media_write=%.1fKB media_read=%.1fKB\n",
+                  (unsigned long long)stats.line_flushes, (unsigned long long)stats.fences,
+                  static_cast<double>(stats.media_write_bytes) / 1024.0,
+                  static_cast<double>(stats.media_read_bytes) / 1024.0);
+      std::printf("buffer_flushes=%llu splits=%llu merges=%llu gc_rounds=%llu log=%.1fKB\n",
+                  (unsigned long long)tree->buffer_flushes(), (unsigned long long)tree->splits(),
+                  (unsigned long long)tree->merges(), (unsigned long long)tree->gc_rounds(),
+                  static_cast<double>(tree->log_live_bytes()) / 1024.0);
+      std::printf("DRAM=%.1fKB PM=%.1fKB invariants=%s\n",
+                  static_cast<double>(footprint.dram_bytes) / 1024.0,
+                  static_cast<double>(footprint.pm_bytes) / 1024.0,
+                  tree->CheckInvariants() ? "OK" : "VIOLATED");
+    } else if (cmd == "crash") {
+      ctx.reset();
+      tree.reset();
+      runtime.device().Crash();
+      tree = core::CclBTree::Recover(runtime, options);
+      ctx = std::make_unique<pmsim::ThreadContext>(runtime.device(), 0, 0);
+      std::printf("crashed and recovered.\n");
+    } else if (!cmd.empty()) {
+      std::printf("unknown command '%s'\n", cmd.c_str());
+    }
+  }
+  return 0;
+}

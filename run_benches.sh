@@ -1,0 +1,10 @@
+#!/bin/bash
+# Runs every benchmark binary and appends to bench_output.txt.
+cd "$(dirname "$0")"
+: > bench_output.txt
+for b in build/bench/bench_*; do
+  echo "=== $(basename "$b") ===" >> bench_output.txt
+  "$b" >> bench_output.txt 2>/dev/null
+  echo "" >> bench_output.txt
+done
+echo "ALL_BENCHES_DONE" >> bench_output.txt

@@ -1,0 +1,231 @@
+#include "src/baselines/fastfair.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace cclbt::baselines {
+
+namespace {
+constexpr int kEntries = 15;
+constexpr size_t kNodeBytes = 256;
+
+uint32_t LineOfEntry(int index) {
+  // 16 B header, then 16 B entries: entry i spans bytes [16+16i, 32+16i).
+  return static_cast<uint32_t>((16 + 16 * index) / 64);
+}
+}  // namespace
+
+// Sorted PM node. level 0 = leaf (value = payload); level > 0 = inner
+// (value = child offset; child covers keys >= key, entry 0's key is the
+// subtree low bound with a leading -inf child in `first_child`).
+struct FastFairTree::Node {
+  uint64_t next_offset;  // right sibling at the same level (0 = none)
+  uint32_t count;
+  uint16_t level;
+  uint16_t padding;
+  struct Entry {
+    uint64_t key;
+    uint64_t value;
+  } entries[kEntries];
+
+  uint64_t first_child() const { return entries[0].value; }
+};
+FastFairTree::FastFairTree(kvindex::Runtime& runtime) : rt_(runtime) {
+  static_assert(sizeof(Node) == kNodeBytes);
+  pmsim::ThreadContext boot_ctx(rt_.device(), 0, 0);
+  pmem::SlabAllocator::Options slab_options;
+  slab_options.slot_bytes = kNodeBytes;
+  slab_options.tag = pmsim::StreamTag::kLeaf;  // the whole tree is "index data"
+  node_slab_ = pmem::SlabAllocator::Create(rt_.pool(), slab_options);
+  root_ = NewNode(/*level=*/0);
+  pmsim::Persist(root_, kNodeBytes);
+}
+
+FastFairTree::~FastFairTree() = default;
+
+FastFairTree::Node* FastFairTree::NewNode(uint32_t level) {
+  // The paper's setup pre-allocates from the local socket for all indexes;
+  // FAST&FAIR itself is NUMA-oblivious, so everything sits on socket 0.
+  auto* node = static_cast<Node*>(node_slab_->Allocate(0));
+  assert(node != nullptr && "PM exhausted");
+  std::memset(static_cast<void*>(node), 0, kNodeBytes);
+  node->level = static_cast<uint16_t>(level);
+  node_count_++;
+  return node;
+}
+
+FastFairTree::Node* FastFairTree::NodeAt(uint64_t offset) const {
+  return static_cast<Node*>(rt_.pool().ToAddr(offset));
+}
+
+uint64_t FastFairTree::OffsetOf(const Node* node) const { return rt_.pool().ToOffset(node); }
+
+FastFairTree::Node* FastFairTree::DescendToLeaf(uint64_t key, Node** path, int* path_len) const {
+  Node* node = root_;
+  int depth = 0;
+  while (node->level > 0) {
+    // Inner nodes are PM-resident, but the upper levels are hot enough to
+    // stay in the CPU cache; only the last inner level (as numerous as the
+    // leaves) realistically misses to PM.
+    if (node->level == 1) {
+      pmsim::ReadPm(node, kNodeBytes);
+    }
+    if (path != nullptr) {
+      path[depth] = node;
+    }
+    depth++;
+    // entries[0].key is a low sentinel: children partition by entry keys.
+    int slot = static_cast<int>(node->count) - 1;
+    while (slot > 0 && key < node->entries[slot].key) {
+      slot--;
+    }
+    node = NodeAt(node->entries[slot].value);
+  }
+  if (path_len != nullptr) {
+    *path_len = depth;
+  }
+  pmsim::ReadPm(node, kNodeBytes);
+  return node;
+}
+
+void FastFairTree::InsertIntoNode(Node* node, uint64_t key, uint64_t payload, Node** path,
+                                  int path_len) {
+  // Position among sorted entries.
+  int pos = 0;
+  while (pos < static_cast<int>(node->count) && node->entries[pos].key < key) {
+    pos++;
+  }
+  if (node->level == 0 && pos < static_cast<int>(node->count) && node->entries[pos].key == key) {
+    node->entries[pos].value = payload;  // in-place update
+    pmsim::FlushLine(reinterpret_cast<const std::byte*>(node) + LineOfEntry(pos) * 64);
+    pmsim::Fence();
+    return;
+  }
+  if (node->count < kEntries) {
+    // FAST: shift right one by one, flushing each crossed cacheline; a single
+    // fence at the end (transient states are read-tolerable by design).
+    uint32_t dirty_lines = 1u << LineOfEntry(pos);
+    for (int i = static_cast<int>(node->count); i > pos; i--) {
+      node->entries[i] = node->entries[i - 1];
+      dirty_lines |= 1u << LineOfEntry(i);
+    }
+    node->entries[pos] = {key, payload};
+    node->count++;
+    dirty_lines |= 1u;  // header line (count)
+    for (uint32_t line = 0; line < 4; line++) {
+      if ((dirty_lines >> line) & 1) {
+        pmsim::FlushLine(reinterpret_cast<const std::byte*>(node) + line * 64);
+      }
+    }
+    pmsim::Fence();
+    return;
+  }
+
+  // Split (FAIR): move the upper half to a new sibling, persist it, then
+  // shrink this node and link the sibling.
+  Node* right = NewNode(node->level);
+  int mid = kEntries / 2;
+  right->count = static_cast<uint32_t>(kEntries - mid);
+  std::memcpy(right->entries, node->entries + mid, sizeof(Node::Entry) * right->count);
+  right->next_offset = node->next_offset;
+  pmsim::Persist(right, kNodeBytes);
+  uint64_t split_key = right->entries[0].key;
+
+  node->count = static_cast<uint32_t>(mid);
+  node->next_offset = OffsetOf(right);
+  pmsim::FlushLine(node);  // header line carries count + next
+  pmsim::Fence();
+
+  // Insert the pending entry into the proper half.
+  Node* target = key < split_key ? node : right;
+  InsertIntoNode(target, key, payload, nullptr, 0);
+
+  // Propagate the separator to the parent.
+  if (node == root_) {
+    Node* new_root = NewNode(node->level + 1);
+    new_root->count = 2;
+    new_root->entries[0] = {0, OffsetOf(node)};
+    new_root->entries[1] = {split_key, OffsetOf(right)};
+    pmsim::Persist(new_root, kNodeBytes);
+    root_ = new_root;
+    return;
+  }
+  assert(path_len > 0 && "non-root node must have a parent on the path");
+  InsertIntoNode(path[path_len - 1], split_key, OffsetOf(right), path, path_len - 1);
+}
+
+void FastFairTree::Upsert(uint64_t key, uint64_t value) {
+  assert(key != 0);
+  std::unique_lock<std::shared_mutex> guard(mu_);
+  Node* path[24];
+  int path_len = 0;
+  Node* leaf = DescendToLeaf(key, path, &path_len);
+  InsertIntoNode(leaf, key, value, path, path_len);
+}
+
+bool FastFairTree::Lookup(uint64_t key, uint64_t* value_out) {
+  std::shared_lock<std::shared_mutex> guard(mu_);
+  Node* leaf = DescendToLeaf(key, nullptr, nullptr);
+  // Binary search within the sorted leaf.
+  const auto* begin = leaf->entries;
+  const auto* end = leaf->entries + leaf->count;
+  const auto* it = std::lower_bound(begin, end, key,
+                                    [](const Node::Entry& e, uint64_t k) { return e.key < k; });
+  if (it == end || it->key != key) {
+    return false;
+  }
+  *value_out = it->value;
+  return true;
+}
+
+bool FastFairTree::Remove(uint64_t key) {
+  std::unique_lock<std::shared_mutex> guard(mu_);
+  Node* leaf = DescendToLeaf(key, nullptr, nullptr);
+  int pos = 0;
+  while (pos < static_cast<int>(leaf->count) && leaf->entries[pos].key < key) {
+    pos++;
+  }
+  if (pos >= static_cast<int>(leaf->count) || leaf->entries[pos].key != key) {
+    return false;
+  }
+  // Lazy deletion: shift left, no merging (as in the original).
+  uint32_t dirty_lines = 1u;  // header (count)
+  for (int i = pos; i + 1 < static_cast<int>(leaf->count); i++) {
+    leaf->entries[i] = leaf->entries[i + 1];
+    dirty_lines |= 1u << LineOfEntry(i);
+  }
+  leaf->count--;
+  for (uint32_t line = 0; line < 4; line++) {
+    if ((dirty_lines >> line) & 1) {
+      pmsim::FlushLine(reinterpret_cast<const std::byte*>(leaf) + line * 64);
+    }
+  }
+  pmsim::Fence();
+  return true;
+}
+
+size_t FastFairTree::Scan(uint64_t start_key, size_t count, kvindex::KeyValue* out) {
+  std::shared_lock<std::shared_mutex> guard(mu_);
+  Node* leaf = DescendToLeaf(start_key, nullptr, nullptr);
+  size_t produced = 0;
+  while (leaf != nullptr && produced < count) {
+    pmsim::ReadPm(leaf, kNodeBytes);
+    for (int i = 0; i < static_cast<int>(leaf->count) && produced < count; i++) {
+      if (leaf->entries[i].key >= start_key) {
+        out[produced++] = {leaf->entries[i].key, leaf->entries[i].value};
+      }
+    }
+    leaf = leaf->next_offset == 0 ? nullptr : NodeAt(leaf->next_offset);
+  }
+  return produced;
+}
+
+kvindex::MemoryFootprint FastFairTree::Footprint() const {
+  kvindex::MemoryFootprint footprint;
+  footprint.dram_bytes = 0;  // pure PM index
+  footprint.pm_bytes = rt_.pool().AllocatedBytes();
+  return footprint;
+}
+
+}  // namespace cclbt::baselines

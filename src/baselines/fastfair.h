@@ -1,0 +1,59 @@
+// FAST&FAIR-style baseline (Hwang et al., FAST'18): the *entire* tree —
+// inner nodes and leaves — lives in PM. Nodes keep entries sorted; inserts
+// shift entries (FAST) and persist the shifted cachelines without logging
+// (FAIR relies on 8 B-atomic stores leaving transiently-inconsistent but
+// tolerable states). Consequences the paper measures:
+//   * every insert dirties its (random) leaf XPLine, plus inner XPLines on
+//     splits -> high XBI-amplification;
+//   * search traverses PM at every level -> slower point lookups than
+//     DRAM-inner designs;
+//   * sorted leaves -> excellent range scans.
+//
+// Simplification (DESIGN.md §6): concurrency uses a readers-writer lock
+// instead of FAST&FAIR's lock-free reads; reported performance comes from
+// the virtual-time model either way.
+#ifndef SRC_BASELINES_FASTFAIR_H_
+#define SRC_BASELINES_FASTFAIR_H_
+
+#include <memory>
+#include <shared_mutex>
+
+#include "src/kvindex/kv_index.h"
+#include "src/kvindex/runtime.h"
+#include "src/pmem/slab_allocator.h"
+
+namespace cclbt::baselines {
+
+class FastFairTree : public kvindex::KvIndex {
+ public:
+  explicit FastFairTree(kvindex::Runtime& runtime);
+  ~FastFairTree() override;
+
+  void Upsert(uint64_t key, uint64_t value) override;
+  bool Lookup(uint64_t key, uint64_t* value_out) override;
+  bool Remove(uint64_t key) override;
+  size_t Scan(uint64_t start_key, size_t count, kvindex::KeyValue* out) override;
+  const char* name() const override { return "FAST&FAIR"; }
+  kvindex::MemoryFootprint Footprint() const override;
+
+ private:
+  struct Node;  // 256 B PM node, sorted entries
+
+  Node* NewNode(uint32_t level);
+  Node* NodeAt(uint64_t offset) const;
+  uint64_t OffsetOf(const Node* node) const;
+  Node* DescendToLeaf(uint64_t key, Node** path, int* path_len) const;
+  // Inserts (key, payload) into `node` (sorted shift + persist); splits and
+  // propagates using the recorded descent path.
+  void InsertIntoNode(Node* node, uint64_t key, uint64_t payload, Node** path, int path_len);
+
+  kvindex::Runtime& rt_;
+  std::unique_ptr<pmem::SlabAllocator> node_slab_;
+  Node* root_;
+  uint64_t node_count_ = 0;
+  mutable std::shared_mutex mu_;
+};
+
+}  // namespace cclbt::baselines
+
+#endif  // SRC_BASELINES_FASTFAIR_H_

@@ -1,0 +1,55 @@
+// DRAM-side handle for one PM leaf, shared by the DRAM-inner baselines
+// (FPTree / LB+-Tree / PACTree flavours): a version lock, the leaf pointer
+// and the separator key. Same optimistic-locking discipline as CCL-BTree's
+// buffer nodes, minus the KV slots.
+#ifndef SRC_BASELINES_LEAF_HANDLE_H_
+#define SRC_BASELINES_LEAF_HANDLE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "src/core/leaf_node.h"
+
+namespace cclbt::baselines {
+
+class LeafHandle {
+ public:
+  LeafHandle(core::PmLeaf* leaf, uint64_t sep) : leaf_(leaf), sep_(sep) {}
+
+  bool TryLock() {
+    uint64_t v = version_.load(std::memory_order_acquire);
+    if ((v & 1) != 0) {
+      return false;
+    }
+    return version_.compare_exchange_weak(v, v + 1, std::memory_order_acquire);
+  }
+  void Unlock() { version_.fetch_add(1, std::memory_order_release); }
+
+  uint64_t ReadBegin() const {
+    uint64_t v;
+    while (((v = version_.load(std::memory_order_acquire)) & 1) != 0) {
+      std::this_thread::yield();  // see core/buffer_node.h
+    }
+    return v;
+  }
+  bool ReadValidate(uint64_t snapshot) const {
+    std::atomic_thread_fence(std::memory_order_acquire);
+    return version_.load(std::memory_order_acquire) == snapshot;
+  }
+
+  core::PmLeaf* leaf() const { return leaf_; }
+  uint64_t sep() const { return sep_; }
+  bool dead() const { return dead_.load(std::memory_order_acquire); }
+  void MarkDead() { dead_.store(true, std::memory_order_release); }
+
+ private:
+  std::atomic<uint64_t> version_{0};
+  core::PmLeaf* leaf_;
+  uint64_t sep_;
+  std::atomic<bool> dead_{false};
+};
+
+}  // namespace cclbt::baselines
+
+#endif  // SRC_BASELINES_LEAF_HANDLE_H_

@@ -1,0 +1,77 @@
+// Minimal leveled LSM engine standing in for RocksDB-on-PM (paper Table 3).
+// What matters for the comparison is the write/read/scan *shape*:
+//   * inserts: DRAM memtable + sequential PM WAL (cheap), but memtable
+//     flushes and leveled sort-merge compactions rewrite data repeatedly —
+//     large PM write amplification and periodic stalls;
+//   * point reads: probe memtable, then every level newest-to-oldest
+//     (multiple PM reads);
+//   * scans: heap-merge across the memtable and all runs (many random-ish
+//     PM reads), the paper omits RocksDB's scan number because it is
+//     hopeless.
+#ifndef SRC_BASELINES_LSMSTORE_H_
+#define SRC_BASELINES_LSMSTORE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <vector>
+
+#include "src/kvindex/kv_index.h"
+#include "src/kvindex/runtime.h"
+
+namespace cclbt::baselines {
+
+class LsmStore : public kvindex::KvIndex {
+ public:
+  struct Options {
+    size_t memtable_entries = 1 << 14;
+    int l0_runs_trigger = 4;     // L0 run count that triggers compaction
+    size_t level_ratio = 8;      // size ratio between adjacent levels
+    int max_levels = 6;
+  };
+
+  explicit LsmStore(kvindex::Runtime& runtime) : LsmStore(runtime, Options()) {}
+  LsmStore(kvindex::Runtime& runtime, const Options& options);
+  ~LsmStore() override;
+
+  void Upsert(uint64_t key, uint64_t value) override;
+  bool Lookup(uint64_t key, uint64_t* value_out) override;
+  bool Remove(uint64_t key) override;
+  size_t Scan(uint64_t start_key, size_t count, kvindex::KeyValue* out) override;
+  const char* name() const override { return "RocksDB-PM"; }
+  kvindex::MemoryFootprint Footprint() const override;
+  void FlushAll() override;
+
+  uint64_t compactions() const { return compactions_; }
+
+ private:
+  struct Run {  // one sorted PM run (SSTable)
+    const kvindex::KeyValue* entries;
+    size_t count;
+    uint64_t min_key;
+    uint64_t max_key;
+  };
+
+  // Writes a sorted entry vector to PM as a new run (sequential writes).
+  Run WriteRun(const std::vector<kvindex::KeyValue>& entries);
+  void FlushMemtableLocked();
+  void MaybeCompactLocked();
+  // Sort-merges all runs of `level` plus `incoming` into level+1.
+  void CompactLocked(int level);
+
+  kvindex::Runtime& rt_;
+  Options options_;
+
+  mutable std::shared_mutex mu_;  // structure lock (memtable + levels)
+  std::map<uint64_t, uint64_t> memtable_;  // value 0 = tombstone
+  std::byte* wal_cursor_ = nullptr;
+  size_t wal_remaining_ = 0;
+  std::vector<std::vector<Run>> levels_;
+  uint64_t compactions_ = 0;
+  uint64_t pm_run_bytes_ = 0;
+};
+
+}  // namespace cclbt::baselines
+
+#endif  // SRC_BASELINES_LSMSTORE_H_

@@ -1,0 +1,51 @@
+// µTree-style baseline (Chen et al., VLDB'20): a DRAM B+-tree indexes a PM
+// linked list that stores ONE KV per list node, so structural refinement
+// (splits/merges) never touches PM — only list-node allocation and pointer
+// stitching do. Consequences the paper measures:
+//   * low tail latency, but each insert writes two random PM lines (the new
+//     node and the predecessor's next pointer) -> high XBI;
+//   * scans chase one pointer per KV across random XPLines -> the worst
+//     range-query throughput of all baselines (paper Fig. 5/10e);
+//   * the per-KV DRAM index makes µTree's DRAM footprint ~equal to its PM
+//     footprint (paper Fig. 18).
+#ifndef SRC_BASELINES_UTREE_H_
+#define SRC_BASELINES_UTREE_H_
+
+#include <memory>
+#include <shared_mutex>
+
+#include "src/kvindex/dram_btree.h"
+#include "src/kvindex/kv_index.h"
+#include "src/kvindex/runtime.h"
+#include "src/pmem/slab_allocator.h"
+
+namespace cclbt::baselines {
+
+class UTree : public kvindex::KvIndex {
+ public:
+  explicit UTree(kvindex::Runtime& runtime);
+  ~UTree() override;
+
+  void Upsert(uint64_t key, uint64_t value) override;
+  bool Lookup(uint64_t key, uint64_t* value_out) override;
+  bool Remove(uint64_t key) override;
+  size_t Scan(uint64_t start_key, size_t count, kvindex::KeyValue* out) override;
+  const char* name() const override { return "uTree"; }
+  kvindex::MemoryFootprint Footprint() const override;
+
+ private:
+  struct ListNode;  // 64 B PM node: one KV + next pointer
+
+  ListNode* NodeAt(uint64_t offset) const;
+
+  kvindex::Runtime& rt_;
+  std::unique_ptr<pmem::SlabAllocator> node_slab_;
+  // Maps every key to its PM list node (per-KV DRAM indexing).
+  kvindex::DramBTree<ListNode*> index_;
+  ListNode* head_;  // sentinel
+  mutable std::shared_mutex mu_;  // writers exclusive; readers shared
+};
+
+}  // namespace cclbt::baselines
+
+#endif  // SRC_BASELINES_UTREE_H_

@@ -1,0 +1,297 @@
+#include "src/bench/driver.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <thread>
+
+#include "src/common/rng.h"
+#include "src/common/zipfian.h"
+#include "src/pmem/value_store.h"
+
+namespace cclbt::bench {
+
+namespace {
+
+// Builds a value word: inline for <= 8 B, out-of-band handle otherwise.
+uint64_t MakeValue(kvindex::Runtime& rt, const RunConfig& config, uint64_t seed_word) {
+  if (config.value_bytes <= 8) {
+    return seed_word | 1;
+  }
+  std::vector<std::byte> payload(config.value_bytes, std::byte{0xAB});
+  std::memcpy(payload.data(), &seed_word, sizeof(seed_word));
+  pmsim::ThreadContext* ctx = pmsim::ThreadContext::Current();
+  return rt.values().Append(payload, ctx->socket());
+}
+
+// Variable-size keys are modeled at the driver level: each operation pays
+// key-blob PM reads during traversal (two comparisons resolve to actual key
+// data on average thanks to fingerprints), and each insert persists a new
+// key blob. See DESIGN.md §6.
+struct KeyBlobModel {
+  std::vector<uint64_t> handles;  // sampled blob handles in PM
+
+  void ChargeTraversal(kvindex::Runtime& rt, Rng& rng) const {
+    if (handles.empty()) {
+      return;
+    }
+    for (int probe = 0; probe < 2; probe++) {
+      uint64_t handle = handles[rng.NextBounded(handles.size())];
+      rt.values().Read(handle);
+    }
+  }
+};
+
+// Interleaves `threads` logical workers. Each call of `step(w)` performs a
+// bounded slice of operations and returns false once worker w is finished.
+// Default mode: all workers share the calling OS thread, sliced round-robin
+// so their virtual clocks advance roughly in lockstep (which the per-DIMM
+// queueing model assumes); os_parallel mode uses real threads instead.
+template <typename StepFn>
+void Schedule(const RunConfig& config, std::vector<std::unique_ptr<pmsim::ThreadContext>>& ctxs,
+              StepFn&& step) {
+  if (config.os_parallel) {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(config.threads));
+    for (int w = 0; w < config.threads; w++) {
+      threads.emplace_back([&, w] {
+        pmsim::ThreadContext::SetCurrent(ctxs[static_cast<size_t>(w)].get());
+        while (step(w)) {
+        }
+        pmsim::ThreadContext::SetCurrent(nullptr);
+      });
+    }
+    for (auto& thread : threads) {
+      thread.join();
+    }
+    return;
+  }
+  std::vector<bool> alive(static_cast<size_t>(config.threads), true);
+  bool any_alive = true;
+  while (any_alive) {
+    any_alive = false;
+    for (int w = 0; w < config.threads; w++) {
+      if (!alive[static_cast<size_t>(w)]) {
+        continue;
+      }
+      pmsim::ThreadContext::SetCurrent(ctxs[static_cast<size_t>(w)].get());
+      alive[static_cast<size_t>(w)] = step(w);
+      any_alive = any_alive || alive[static_cast<size_t>(w)];
+    }
+  }
+  pmsim::ThreadContext::SetCurrent(nullptr);
+}
+
+// Ops per scheduling slice: small enough to bound virtual-clock skew between
+// workers to a few microseconds.
+constexpr uint64_t kSliceOps = 1;
+
+std::vector<std::unique_ptr<pmsim::ThreadContext>> MakeContexts(kvindex::Runtime& runtime,
+                                                                const RunConfig& config) {
+  std::vector<std::unique_ptr<pmsim::ThreadContext>> ctxs;
+  ctxs.reserve(static_cast<size_t>(config.threads));
+  for (int w = 0; w < config.threads; w++) {
+    ctxs.push_back(std::make_unique<pmsim::ThreadContext>(
+        runtime.device(), runtime.SocketForWorker(w, config.threads_per_socket), w));
+  }
+  pmsim::ThreadContext::SetCurrent(nullptr);
+  return ctxs;
+}
+
+}  // namespace
+
+uint64_t WarmKey(const RunConfig& config, uint64_t i) {
+  if (config.preset_keys != nullptr) {
+    return (*config.preset_keys)[i];
+  }
+  if (config.dist == KeyDistribution::kSequential) {
+    return i + 1;
+  }
+  return Mix64(i) | 1;
+}
+
+RunResult RunWorkload(kvindex::Runtime& runtime, kvindex::KvIndex& index,
+                      const RunConfig& config) {
+  assert(config.threads >= 1);
+  if (config.preset_keys != nullptr) {
+    assert(config.preset_keys->size() >= config.warm_keys + config.ops);
+  }
+
+  KeyBlobModel key_blobs;
+
+  // --- warm-up phase -----------------------------------------------------------
+  {
+    auto ctxs = MakeContexts(runtime, config);
+    uint64_t per_thread = config.warm_keys / static_cast<uint64_t>(config.threads);
+    std::vector<uint64_t> cursor(static_cast<size_t>(config.threads));
+    std::vector<uint64_t> limit(static_cast<size_t>(config.threads));
+    for (int w = 0; w < config.threads; w++) {
+      cursor[static_cast<size_t>(w)] = static_cast<uint64_t>(w) * per_thread;
+      limit[static_cast<size_t>(w)] =
+          w + 1 == config.threads ? config.warm_keys : cursor[static_cast<size_t>(w)] + per_thread;
+    }
+    Schedule(config, ctxs, [&](int w) {
+      uint64_t& i = cursor[static_cast<size_t>(w)];
+      uint64_t end = std::min(limit[static_cast<size_t>(w)], i + kSliceOps);
+      for (; i < end; i++) {
+        index.Upsert(WarmKey(config, i), MakeValue(runtime, config, i + 1));
+      }
+      return i < limit[static_cast<size_t>(w)];
+    });
+  }
+  if (config.key_bytes > 8) {
+    pmsim::ThreadContext ctx(runtime.device(), 0, 0);
+    auto sample = static_cast<size_t>(std::min<uint64_t>(config.warm_keys, 100'000));
+    std::vector<std::byte> blob(config.key_bytes, std::byte{0x5A});
+    key_blobs.handles.reserve(sample);
+    for (size_t i = 0; i < sample; i++) {
+      key_blobs.handles.push_back(runtime.values().Append(blob, 0));
+    }
+  }
+
+  // --- measurement phase ----------------------------------------------------------
+  runtime.device().ResetCosts();
+  pmsim::StatsSnapshot before = runtime.device().stats().Snapshot();
+
+  struct WorkerState {
+    Rng rng;
+    ZipfianGenerator zipf;
+    YcsbOpPicker picker;
+    std::vector<kvindex::KeyValue> scan_out;
+    uint64_t cursor = 0;
+    uint64_t limit = 0;
+    LatencyHistogram latency;
+    uint64_t final_vtime = 0;
+
+    WorkerState(const RunConfig& config, int w)
+        : rng(config.seed * 977 + static_cast<uint64_t>(w)),
+          zipf(config.warm_keys + config.ops == 0 ? 1 : config.warm_keys + config.ops,
+               config.zipf_theta, config.seed * 31 + static_cast<uint64_t>(w)),
+          picker(config.mix != nullptr ? *config.mix : kYcsbInsertOnly,
+                 config.seed + static_cast<uint64_t>(w) * 13),
+          scan_out(config.scan_len) {}
+  };
+
+  std::vector<WorkerState> states;
+  states.reserve(static_cast<size_t>(config.threads));
+  uint64_t per_thread_ops = config.ops / static_cast<uint64_t>(config.threads);
+  for (int w = 0; w < config.threads; w++) {
+    states.emplace_back(config, w);
+    states.back().cursor = static_cast<uint64_t>(w) * per_thread_ops;
+    states.back().limit =
+        w + 1 == config.threads ? config.ops : states.back().cursor + per_thread_ops;
+  }
+
+  uint64_t write_bytes = 8 + std::max<size_t>(config.value_bytes, 8) +
+                         (config.key_bytes > 8 ? config.key_bytes - 8 : 0);
+
+  auto run_one = [&](WorkerState& st, uint64_t i) {
+    pmsim::ThreadContext* ctx = pmsim::ThreadContext::Current();
+    OpType op = config.mix != nullptr ? st.picker.Next() : config.op;
+    uint64_t t0 = ctx->now_ns();
+    if (config.key_bytes > 8) {
+      key_blobs.ChargeTraversal(runtime, st.rng);
+    }
+    switch (op) {
+      case OpType::kInsert: {
+        // Fresh keys beyond the warm space (the paper "upserts the remaining
+        // 50 M KVs"); Zipfian draws over the whole space (upsert semantics).
+        uint64_t key;
+        if (config.preset_keys != nullptr) {
+          key = (*config.preset_keys)[config.warm_keys + i];
+        } else if (config.dist == KeyDistribution::kZipfian) {
+          key = Mix64(st.zipf.NextRank()) | 1;
+        } else if (config.dist == KeyDistribution::kSequential) {
+          key = config.warm_keys + i + 1;
+        } else {
+          key = Mix64(config.warm_keys + i) | 1;
+        }
+        runtime.device().stats().AddUserBytes(write_bytes);
+        index.Upsert(key, MakeValue(runtime, config, i + 1));
+        break;
+      }
+      case OpType::kUpdate: {
+        uint64_t key = config.dist == KeyDistribution::kZipfian
+                           ? Mix64(st.zipf.NextRank() % config.warm_keys) | 1
+                           : WarmKey(config, st.rng.NextBounded(config.warm_keys));
+        runtime.device().stats().AddUserBytes(write_bytes);
+        index.Upsert(key, MakeValue(runtime, config, i + 7));
+        break;
+      }
+      case OpType::kDelete: {
+        uint64_t key = WarmKey(config, st.rng.NextBounded(config.warm_keys));
+        runtime.device().stats().AddUserBytes(write_bytes);
+        index.Remove(key);
+        break;
+      }
+      case OpType::kRead: {
+        uint64_t key = config.dist == KeyDistribution::kZipfian
+                           ? Mix64(st.zipf.NextRank() % config.warm_keys) | 1
+                           : WarmKey(config, st.rng.NextBounded(config.warm_keys));
+        uint64_t value = 0;
+        index.Lookup(key, &value);
+        break;
+      }
+      case OpType::kScan: {
+        uint64_t start = config.preset_keys != nullptr
+                             ? (*config.preset_keys)[st.rng.NextBounded(config.warm_keys)]
+                             : WarmKey(config, st.rng.NextBounded(config.warm_keys));
+        index.Scan(start, config.scan_len, st.scan_out.data());
+        break;
+      }
+    }
+    if (config.collect_latency) {
+      st.latency.Record(ctx->now_ns() - t0);
+    }
+  };
+
+  {
+    auto ctxs = MakeContexts(runtime, config);
+    Schedule(config, ctxs, [&](int w) {
+      WorkerState& st = states[static_cast<size_t>(w)];
+      uint64_t end = std::min(st.limit, st.cursor + kSliceOps);
+      for (; st.cursor < end; st.cursor++) {
+        run_one(st, st.cursor);
+      }
+      bool more = st.cursor < st.limit;
+      if (!more) {
+        st.final_vtime = pmsim::ThreadContext::Current()->now_ns();
+      }
+      return more;
+    });
+  }
+
+  RunResult result;
+  uint64_t busy_ns = runtime.device().MaxDimmBusyNs();
+  uint64_t worker_ns = 0;
+  for (const auto& st : states) {
+    worker_ns = std::max(worker_ns, st.final_vtime);
+  }
+  uint64_t elapsed_ns = std::max(busy_ns, worker_ns);
+  result.max_worker_vtime_ms = static_cast<double>(worker_ns) / 1e6;
+  result.max_dimm_busy_ms = static_cast<double>(busy_ns) / 1e6;
+  pmsim::StatsSnapshot after = runtime.device().stats().Snapshot();
+  result.stats = after.Delta(before);
+  result.cli_amplification = result.stats.CliAmplification();
+  result.xbi_amplification = result.stats.XbiAmplification();
+  result.elapsed_virtual_ms = static_cast<double>(elapsed_ns) / 1e6;
+  result.mops = elapsed_ns == 0
+                    ? 0.0
+                    : static_cast<double>(config.ops) * 1e3 / static_cast<double>(elapsed_ns);
+  for (const auto& st : states) {
+    result.latency.Merge(st.latency);
+  }
+  result.footprint = index.Footprint();
+  return result;
+}
+
+RunResult RunIndexWorkload(const std::string& index_name, const RunConfig& config,
+                           const IndexConfig& index_config, size_t pool_bytes) {
+  kvindex::RuntimeOptions runtime_options;
+  runtime_options.device.pool_bytes = pool_bytes;
+  kvindex::Runtime runtime(runtime_options);
+  auto index = MakeIndex(index_name, runtime, index_config);
+  return RunWorkload(runtime, *index, config);
+}
+
+}  // namespace cclbt::bench

@@ -1,0 +1,85 @@
+// Workload driver shared by every benchmark binary: spawns worker threads
+// with per-thread virtual clocks, runs warm-up + measurement phases, and
+// reports modeled throughput, amplification counters and latency
+// percentiles.
+//
+// Timing model: a run's modeled elapsed time is
+//     max( max over workers of their virtual clock ,
+//          max over DIMMs of outstanding media work )
+// measured over the measurement phase only. See src/pmsim/config.h for the
+// cost constants and DESIGN.md §1 for the calibration rationale.
+#ifndef SRC_BENCH_DRIVER_H_
+#define SRC_BENCH_DRIVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/bench/index_factory.h"
+#include "src/common/histogram.h"
+#include "src/common/keyspace.h"
+#include "src/common/ycsb.h"
+#include "src/kvindex/kv_index.h"
+#include "src/kvindex/runtime.h"
+
+namespace cclbt::bench {
+
+struct RunConfig {
+  int threads = 48;
+  // Distinct keys loaded before measurement (the paper warms with 50 M).
+  uint64_t warm_keys = 1'000'000;
+  // Operations in the measurement phase.
+  uint64_t ops = 1'000'000;
+  // Single-op benches: all ops are of this type. For YCSB mixes set `mix`.
+  OpType op = OpType::kInsert;
+  const YcsbMix* mix = nullptr;
+  KeyDistribution dist = KeyDistribution::kUniform;
+  double zipf_theta = 0.9;
+  size_t scan_len = 100;
+  int threads_per_socket = 48;
+  bool collect_latency = false;
+  // Values larger than 8 B go through ValueStore indirection; the stored
+  // word is the handle (paper §4.4 Opt. 3). 0/8 = inline.
+  size_t value_bytes = 8;
+  // Variable-size keys: modeled by charging key-blob PM reads during
+  // traversal (see DESIGN.md §6). 0/8 = inline keys.
+  size_t key_bytes = 8;
+  // Preset key set (e.g. SOSD datasets); overrides dist for inserts.
+  const std::vector<uint64_t>* preset_keys = nullptr;
+  uint64_t seed = 99;
+  // Execute the logical workers on real OS threads. Virtual-time results are
+  // identical either way; sequential execution (the default) avoids
+  // oversubscription livelock on small hosts. Concurrency correctness is
+  // covered by the test suite, which always uses real threads.
+  bool os_parallel = false;
+};
+
+struct RunResult {
+  double mops = 0;                 // modeled throughput, Mop/s
+  double elapsed_virtual_ms = 0;   // modeled elapsed time of the measure phase
+  double max_worker_vtime_ms = 0;  // slowest worker's clock (latency-bound part)
+  double max_dimm_busy_ms = 0;     // busiest DIMM's media work (bandwidth-bound part)
+  pmsim::StatsSnapshot stats;      // measure-phase delta
+  double cli_amplification = 0;
+  double xbi_amplification = 0;
+  LatencyHistogram latency;        // per-op virtual latencies (if collected)
+  kvindex::MemoryFootprint footprint;
+};
+
+// Loads `config.warm_keys` distinct keys (or the preset set), then runs the
+// measurement phase and returns the metrics. The index must be freshly
+// created on `runtime`.
+RunResult RunWorkload(kvindex::Runtime& runtime, kvindex::KvIndex& index, const RunConfig& config);
+
+// Convenience: build runtime + index, run, tear down.
+RunResult RunIndexWorkload(const std::string& index_name, const RunConfig& config,
+                           const IndexConfig& index_config = {},
+                           size_t pool_bytes = 2ULL << 30);
+
+// Key for warm-phase position i (dense scrambled space of warm_keys).
+uint64_t WarmKey(const RunConfig& config, uint64_t i);
+
+}  // namespace cclbt::bench
+
+#endif  // SRC_BENCH_DRIVER_H_

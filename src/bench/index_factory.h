@@ -1,0 +1,35 @@
+// Factory producing any of the indexes under comparison by name, so the
+// bench harness, YCSB driver and conformance tests are index-agnostic.
+#ifndef SRC_BENCH_INDEX_FACTORY_H_
+#define SRC_BENCH_INDEX_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/options.h"
+#include "src/kvindex/kv_index.h"
+#include "src/kvindex/runtime.h"
+
+namespace cclbt::bench {
+
+struct IndexConfig {
+  // Passed through to CCL-BTree; ignored by baselines.
+  core::TreeOptions tree;
+};
+
+// Names: "cclbtree", "fptree", "fastfair", "dptree", "utree", "lbtree",
+// "pactree", "flatstore", "lsmstore". Aborts on unknown name.
+std::unique_ptr<kvindex::KvIndex> MakeIndex(const std::string& name, kvindex::Runtime& runtime,
+                                            const IndexConfig& config = {});
+
+// The persistent B+-tree competitors of the paper's Figures 3-19
+// (everything except the log-structured stores of Table 3).
+const std::vector<std::string>& TreeIndexNames();
+
+// All indexes including FlatStore and the LSM store.
+const std::vector<std::string>& AllIndexNames();
+
+}  // namespace cclbt::bench
+
+#endif  // SRC_BENCH_INDEX_FACTORY_H_

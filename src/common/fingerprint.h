@@ -1,0 +1,21 @@
+// 1-byte key fingerprints as used by FPTree and by the paper's leaf-node
+// header (§4.1): comparing the fingerprint of a probe key against the 14
+// per-slot fingerprints filters non-matching slots with one cacheline read.
+#ifndef SRC_COMMON_FINGERPRINT_H_
+#define SRC_COMMON_FINGERPRINT_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+
+namespace cclbt {
+
+inline uint8_t Fingerprint8(uint64_t key) {
+  // Mix so that low-entropy keys (sequential integers) still spread over the
+  // byte; take the top byte of the mixed value.
+  return static_cast<uint8_t>(Mix64(key) >> 56);
+}
+
+}  // namespace cclbt
+
+#endif  // SRC_COMMON_FINGERPRINT_H_

@@ -1,0 +1,79 @@
+#include "src/common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace cclbt {
+
+LatencyHistogram::LatencyHistogram() : buckets_(kNumBuckets, 0) {}
+
+int LatencyHistogram::BucketFor(uint64_t value) {
+  if (value < (1ULL << kSubBucketBits)) {
+    return static_cast<int>(value);  // Exact buckets for small values.
+  }
+  int log2 = 63 - std::countl_zero(value);
+  int shift = log2 - kSubBucketBits;
+  uint64_t sub = (value >> shift) - (1ULL << kSubBucketBits);
+  int bucket = ((shift + 1) << kSubBucketBits) + static_cast<int>(sub);
+  return std::min(bucket, kNumBuckets - 1);
+}
+
+uint64_t LatencyHistogram::BucketUpperBound(int bucket) {
+  if (bucket < (1 << kSubBucketBits)) {
+    return static_cast<uint64_t>(bucket);
+  }
+  int shift = (bucket >> kSubBucketBits) - 1;
+  uint64_t sub = static_cast<uint64_t>(bucket & ((1 << kSubBucketBits) - 1));
+  return (((1ULL << kSubBucketBits) + sub + 1) << shift) - 1;
+}
+
+void LatencyHistogram::Record(uint64_t value_ns) {
+  buckets_[BucketFor(value_ns)]++;
+  count_++;
+  sum_ += value_ns;
+  min_ = std::min(min_, value_ns);
+  max_ = std::max(max_, value_ns);
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (int i = 0; i < kNumBuckets; i++) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+uint64_t LatencyHistogram::Percentile(double p) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  if (p <= 0.0) {
+    return min_;
+  }
+  auto rank = static_cast<uint64_t>(p / 100.0 * static_cast<double>(count_));
+  rank = std::min(rank, count_ - 1);
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; i++) {
+    seen += buckets_[i];
+    if (seen > rank) {
+      return std::min(std::max(BucketUpperBound(i), min_), max_);
+    }
+  }
+  return max_;
+}
+
+double LatencyHistogram::Mean() const {
+  return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+void LatencyHistogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = ~0ULL;
+  max_ = 0;
+}
+
+}  // namespace cclbt

@@ -1,0 +1,49 @@
+// Log-bucketed latency histogram with percentile queries, used for the
+// paper's Figure 12 latency-distribution analysis. Buckets grow
+// geometrically so the histogram covers nanoseconds to seconds with bounded
+// relative error (~3%) and O(1) recording.
+#ifndef SRC_COMMON_HISTOGRAM_H_
+#define SRC_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace cclbt {
+
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  void Record(uint64_t value_ns);
+
+  // Merge another histogram (e.g. per-thread histograms at the end of a run).
+  void Merge(const LatencyHistogram& other);
+
+  // Value at percentile p in [0, 100]. Returns the upper bound of the bucket
+  // containing the requested rank; 0 for an empty histogram.
+  uint64_t Percentile(double p) const;
+
+  uint64_t Min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t Max() const { return count_ == 0 ? 0 : max_; }
+  uint64_t Count() const { return count_; }
+  double Mean() const;
+
+  void Reset();
+
+ private:
+  static constexpr int kSubBucketBits = 5;  // 32 sub-buckets per power of two.
+  static constexpr int kNumBuckets = 64 << kSubBucketBits;
+
+  static int BucketFor(uint64_t value);
+  static uint64_t BucketUpperBound(int bucket);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = ~0ULL;
+  uint64_t max_ = 0;
+};
+
+}  // namespace cclbt
+
+#endif  // SRC_COMMON_HISTOGRAM_H_

@@ -1,0 +1,119 @@
+#include "src/common/keyspace.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace cclbt {
+
+KeyStream::KeyStream(KeyDistribution dist, uint64_t space, double theta, uint64_t seed)
+    : dist_(dist), space_(space), zipf_(space == 0 ? 1 : space, theta, seed) {}
+
+uint64_t KeyStream::Key(uint64_t i) {
+  switch (dist_) {
+    case KeyDistribution::kSequential:
+      return i + 1;  // Avoid key 0, which some indexes reserve as a sentinel.
+    case KeyDistribution::kUniform:
+      // Bijective scramble of the dense rank: no collisions, random layout.
+      return Mix64(i % space_) | 1ULL;
+    case KeyDistribution::kZipfian:
+      return Mix64(zipf_.NextRank()) | 1ULL;
+  }
+  return 0;
+}
+
+namespace {
+
+std::vector<uint64_t> Dedup(std::vector<uint64_t> keys) {
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(keys.size() * 2);
+  std::vector<uint64_t> out;
+  out.reserve(keys.size());
+  for (uint64_t k : keys) {
+    if (seen.insert(k).second) {
+      out.push_back(k);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<uint64_t> BuildSosdLikeDataset(SosdDataset which, size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint64_t> keys;
+  keys.reserve(n + n / 8);
+  switch (which) {
+    case SosdDataset::kAmzn: {
+      // Popularity-clustered ids: runs of adjacent ids (books by the same
+      // publisher block) separated by Zipf-sized gaps.
+      ZipfianGenerator gap(1 << 20, 0.8, seed);
+      uint64_t cur = 1;
+      while (keys.size() < n) {
+        uint64_t run = 1 + rng.NextBounded(16);
+        for (uint64_t i = 0; i < run && keys.size() < n; i++) {
+          keys.push_back(cur++);
+        }
+        cur += 16 + gap.NextRank();
+      }
+      break;
+    }
+    case SosdDataset::kOsm: {
+      // Hilbert-ish cell ids: near-uniform 64-bit values with short spatial
+      // runs (cells along a way share high bits).
+      while (keys.size() < n) {
+        uint64_t base = rng.Next() & ~0xffULL;
+        uint64_t run = 1 + rng.NextBounded(6);
+        for (uint64_t i = 0; i < run && keys.size() < n; i++) {
+          keys.push_back(base + i * 4 + 1);
+        }
+      }
+      break;
+    }
+    case SosdDataset::kWiki: {
+      // Edit timestamps: monotone with bursts (many edits in the same second
+      // get adjacent values).
+      uint64_t t = 1'500'000'000ULL;
+      while (keys.size() < n) {
+        t += 1 + rng.NextBounded(3);
+        uint64_t burst = 1 + rng.NextBounded(4);
+        for (uint64_t i = 0; i < burst && keys.size() < n; i++) {
+          keys.push_back(t * 1000 + i);
+        }
+      }
+      break;
+    }
+    case SosdDataset::kFacebook: {
+      // Randomly sampled user ids from a sparse space: effectively uniform.
+      for (size_t i = 0; i < n; i++) {
+        keys.push_back(rng.Next() | 1ULL);
+      }
+      break;
+    }
+  }
+  keys = Dedup(std::move(keys));
+  while (keys.size() < n) {
+    keys.push_back(rng.Next() | 1ULL);  // Top up after dedup (rare).
+  }
+  keys.resize(n);
+  // Insertion order is random for all four datasets (SOSD inserts shuffled).
+  for (size_t i = keys.size(); i > 1; i--) {
+    std::swap(keys[i - 1], keys[rng.NextBounded(i)]);
+  }
+  return keys;
+}
+
+const char* SosdDatasetName(SosdDataset which) {
+  switch (which) {
+    case SosdDataset::kAmzn:
+      return "amzn";
+    case SosdDataset::kOsm:
+      return "osm";
+    case SosdDataset::kWiki:
+      return "wiki";
+    case SosdDataset::kFacebook:
+      return "facebook";
+  }
+  return "?";
+}
+
+}  // namespace cclbt

@@ -1,0 +1,62 @@
+// Key-stream generators for the benchmark harness.
+//
+// * Uniform / Zipfian streams over a dense logical key space, scrambled so
+//   logically-adjacent keys land in unrelated leaves (the paper's uniform and
+//   Zipfian micro-benchmarks).
+// * SOSD-like synthetic datasets standing in for the four realistic datasets
+//   of Figure 19 (amzn / osm / wiki / facebook). The real datasets are large
+//   downloads; what matters for insert throughput is the key distribution
+//   *shape* (clustering, monotonicity, tail), which these generators imitate.
+#ifndef SRC_COMMON_KEYSPACE_H_
+#define SRC_COMMON_KEYSPACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/zipfian.h"
+
+namespace cclbt {
+
+enum class KeyDistribution {
+  kUniform,     // scrambled dense ranks
+  kZipfian,     // scrambled Zipfian ranks
+  kSequential,  // monotonically increasing
+};
+
+// Produces the i-th key of a deterministic stream. All threads can generate
+// disjoint slices without coordination.
+class KeyStream {
+ public:
+  // `space` is the number of distinct keys; Zipfian `theta` ignored otherwise.
+  KeyStream(KeyDistribution dist, uint64_t space, double theta = 0.9, uint64_t seed = 7);
+
+  // Key for stream position i (uniform/sequential are stateless; Zipfian uses
+  // the internal generator so call sites should consume sequentially).
+  uint64_t Key(uint64_t i);
+
+  KeyDistribution distribution() const { return dist_; }
+  uint64_t space() const { return space_; }
+
+ private:
+  KeyDistribution dist_;
+  uint64_t space_;
+  ZipfianGenerator zipf_;
+};
+
+enum class SosdDataset { kAmzn, kOsm, kWiki, kFacebook };
+
+// Builds an in-memory synthetic key set mimicking the named SOSD dataset:
+//   amzn:     book ids — clustered blocks with popularity-skewed gaps
+//   osm:      cell ids — near-uniform over 64 bits with spatial runs
+//   wiki:     edit timestamps — monotone with bursty duplicates-adjacent keys
+//   facebook: user ids — uniform samples from a sparse id space
+// Keys are deduplicated and shuffled into insertion order.
+std::vector<uint64_t> BuildSosdLikeDataset(SosdDataset which, size_t n, uint64_t seed = 42);
+
+const char* SosdDatasetName(SosdDataset which);
+
+}  // namespace cclbt
+
+#endif  // SRC_COMMON_KEYSPACE_H_

@@ -1,0 +1,68 @@
+// Deterministic pseudo-random number generation used across workload
+// generators and tests. We avoid <random> engines in hot paths: benchmark
+// key streams must be cheap and bit-for-bit reproducible across platforms.
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace cclbt {
+
+// SplitMix64: used for seeding and key scrambling. Passes BigCrush when used
+// as a one-shot mixer; period 2^64.
+constexpr uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// One-shot 64-bit mixer (Stafford variant 13). Bijective: distinct inputs map
+// to distinct outputs, which matters when scrambling dense key ranges into
+// "random" keys without collisions.
+constexpr uint64_t Mix64(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256**-style generator; small state, fast, good statistical quality
+// for workload generation (not cryptographic).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed5eed5eedULL) {
+    uint64_t sm = seed;
+    for (auto& word : state_) {
+      word = SplitMix64(sm);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). Unbiased enough for benchmarking (modulo bias is
+  // < 2^-32 for bounds below 2^32).
+  uint64_t NextBounded(uint64_t bound) { return bound == 0 ? 0 : Next() % bound; }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0); }
+
+ private:
+  static constexpr uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace cclbt
+
+#endif  // SRC_COMMON_RNG_H_

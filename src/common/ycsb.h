@@ -1,0 +1,60 @@
+// YCSB-style workload mixes (Cooper et al., SoCC'10) matching the five
+// uniform workloads of the paper's §5.2: insert-only, insert-intensive
+// (75% insert / 25% read), read-intensive (25% / 75%), read-only, and
+// scan-insert (95% scan / 5% insert).
+#ifndef SRC_COMMON_YCSB_H_
+#define SRC_COMMON_YCSB_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/rng.h"
+
+namespace cclbt {
+
+enum class OpType : uint8_t { kInsert, kRead, kUpdate, kDelete, kScan };
+
+struct YcsbMix {
+  const char* name;
+  int insert_pct;
+  int read_pct;
+  int scan_pct;
+  // update/delete fill the remainder (unused by the paper's five mixes).
+};
+
+inline constexpr YcsbMix kYcsbInsertOnly{"insert-only", 100, 0, 0};
+inline constexpr YcsbMix kYcsbInsertIntensive{"insert-intensive", 75, 25, 0};
+inline constexpr YcsbMix kYcsbReadIntensive{"read-intensive", 25, 75, 0};
+inline constexpr YcsbMix kYcsbReadOnly{"read-only", 0, 100, 0};
+inline constexpr YcsbMix kYcsbScanInsert{"scan-insert", 5, 0, 95};
+
+inline constexpr YcsbMix kYcsbMixes[] = {kYcsbInsertOnly, kYcsbInsertIntensive,
+                                         kYcsbReadIntensive, kYcsbReadOnly, kYcsbScanInsert};
+
+// Draws the next operation type for a mix.
+class YcsbOpPicker {
+ public:
+  YcsbOpPicker(const YcsbMix& mix, uint64_t seed) : mix_(mix), rng_(seed) {}
+
+  OpType Next() {
+    auto roll = static_cast<int>(rng_.NextBounded(100));
+    if (roll < mix_.insert_pct) {
+      return OpType::kInsert;
+    }
+    if (roll < mix_.insert_pct + mix_.read_pct) {
+      return OpType::kRead;
+    }
+    if (roll < mix_.insert_pct + mix_.read_pct + mix_.scan_pct) {
+      return OpType::kScan;
+    }
+    return OpType::kUpdate;
+  }
+
+ private:
+  YcsbMix mix_;
+  Rng rng_;
+};
+
+}  // namespace cclbt
+
+#endif  // SRC_COMMON_YCSB_H_

@@ -1,0 +1,129 @@
+// DRAM buffer node (paper §3.2, Figure 7(a)): one per leaf, sitting between
+// the last-level inner nodes and the PM leaf. Serves two purposes: merging
+// writes so they flush to the leaf's XPLine in one batch, and caching the
+// most recent KVs for reads.
+//
+// The paper compresses {leaf pointer, version lock, epoch bitmap, position}
+// into an 8 B header plus N_batch KV slots; we keep the fields addressable
+// (slots are atomics so optimistic readers are race-free) and account DRAM
+// consumption at the paper's packed size (see CclBTree::Footprint).
+#ifndef SRC_CORE_BUFFER_NODE_H_
+#define SRC_CORE_BUFFER_NODE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <new>
+#include <thread>
+
+#include "src/core/leaf_node.h"
+
+namespace cclbt::core {
+
+// Tombstone value: a delete is an upsert of value 0 (paper §4.2).
+inline constexpr uint64_t kTombstone = 0;
+
+struct BufferSlot {
+  std::atomic<uint64_t> key{0};
+  std::atomic<uint64_t> value{0};
+};
+
+class BufferNode {
+ public:
+  BufferNode(PmLeaf* leaf, int nbatch) : leaf_(leaf), nbatch_(nbatch) {}
+
+  // --- version lock (paper §4.4 Optimization 2) ----------------------------
+  // Even version == unlocked. Writers CAS even -> odd; readers snapshot an
+  // even version, read optimistically, and revalidate. The PM leaf shares
+  // this lock ("the leaf nodes share the version number of their
+  // corresponding buffer nodes").
+  bool TryLock() {
+    uint64_t v = version_.load(std::memory_order_acquire);
+    if ((v & 1) != 0) {
+      return false;
+    }
+    return version_.compare_exchange_weak(v, v + 1, std::memory_order_acquire);
+  }
+  void Lock() {
+    while (!TryLock()) {
+      // Yield rather than spin: benches oversubscribe OS threads and a
+      // preempted lock holder would otherwise stall every spinner.
+      std::this_thread::yield();
+    }
+  }
+  void Unlock() { version_.fetch_add(1, std::memory_order_release); }
+
+  uint64_t ReadBegin() const {
+    uint64_t v;
+    while (((v = version_.load(std::memory_order_acquire)) & 1) != 0) {
+      std::this_thread::yield();
+    }
+    return v;
+  }
+  bool ReadValidate(uint64_t snapshot) const {
+    std::atomic_thread_fence(std::memory_order_acquire);
+    return version_.load(std::memory_order_acquire) == snapshot;
+  }
+
+  // --- fields ---------------------------------------------------------------
+  PmLeaf* leaf() const { return leaf_; }
+  int nbatch() const { return nbatch_; }
+
+  // Separator key this node is registered under in the inner index.
+  uint64_t sep() const { return sep_; }
+  void set_sep(uint64_t sep) { sep_ = sep; }
+
+  // Snapshot of the leaf's pre-crash timestamp, used only while a recovery
+  // replay is in progress (see CclBTree::ReplayLogs); 0 otherwise.
+  uint64_t recovery_orig_ts() const { return recovery_orig_ts_; }
+  void set_recovery_orig_ts(uint64_t ts) { recovery_orig_ts_ = ts; }
+
+  int pos() const { return pos_.load(std::memory_order_acquire); }
+  void set_pos(int p) { pos_.store(p, std::memory_order_release); }
+
+  uint32_t epoch_bits() const { return epoch_bits_.load(std::memory_order_acquire); }
+  void SetEpochBit(int slot, uint32_t epoch) {
+    uint32_t bits = epoch_bits_.load(std::memory_order_relaxed);
+    uint32_t updated = (bits & ~(1u << slot)) | (epoch << slot);
+    epoch_bits_.store(updated, std::memory_order_release);
+  }
+  uint32_t EpochBit(int slot) const { return (epoch_bits() >> slot) & 1; }
+
+  bool dead() const { return dead_.load(std::memory_order_acquire); }
+  void MarkDead() { dead_.store(true, std::memory_order_release); }
+
+  BufferSlot* slots() { return slots_; }
+  const BufferSlot* slots() const { return slots_; }
+
+  // Allocation: slots trail the object (nbatch is fixed per tree).
+  static BufferNode* New(PmLeaf* leaf, int nbatch) {
+    void* mem =
+        ::operator new(sizeof(BufferNode) + sizeof(BufferSlot) * static_cast<size_t>(nbatch));
+    auto* node = new (mem) BufferNode(leaf, nbatch);
+    for (int i = 0; i < nbatch; i++) {
+      new (&node->slots_[i]) BufferSlot();
+    }
+    return node;
+  }
+  static void Delete(BufferNode* node) {
+    node->~BufferNode();
+    ::operator delete(node);
+  }
+
+  // DRAM bytes the paper's packed layout would use for this node.
+  static uint64_t PackedBytes(int nbatch) { return 8 + 16 * static_cast<uint64_t>(nbatch); }
+
+ private:
+  std::atomic<uint64_t> version_{0};
+  PmLeaf* leaf_;
+  int nbatch_;
+  uint64_t sep_ = 0;
+  uint64_t recovery_orig_ts_ = 0;
+  std::atomic<int> pos_{0};
+  std::atomic<uint32_t> epoch_bits_{0};
+  std::atomic<bool> dead_{false};
+  BufferSlot slots_[];  // nbatch entries
+};
+
+}  // namespace cclbt::core
+
+#endif  // SRC_CORE_BUFFER_NODE_H_

@@ -1,0 +1,172 @@
+// CCL-BTree: crash-consistent locality-aware B+-tree (the paper's
+// contribution). See DESIGN.md for the module map.
+//
+// Structure (paper Figure 6):
+//   inner nodes   DRAM  kvindex::DramBTree separators -> BufferNode*
+//   buffer nodes  DRAM  N_batch write-merging slots + read cache (§3.2)
+//   leaf nodes    PM    256 B, unsorted, ordered between leaves (§4.1)
+//   WALs          PM    per-thread, write-conservative (§3.3)
+//   GC            background, locality-aware B-log/I-log flip (§3.4)
+#ifndef SRC_CORE_CCL_BTREE_H_
+#define SRC_CORE_CCL_BTREE_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+#include <vector>
+
+#include "src/core/buffer_node.h"
+#include "src/core/leaf_node.h"
+#include "src/core/options.h"
+#include "src/core/wal.h"
+#include "src/kvindex/dram_btree.h"
+#include "src/kvindex/kv_index.h"
+#include "src/kvindex/runtime.h"
+#include "src/pmem/slab_allocator.h"
+
+namespace cclbt::core {
+
+class CclBTree : public kvindex::KvIndex {
+ public:
+  // Formats a fresh tree in the runtime's pool.
+  CclBTree(kvindex::Runtime& runtime, const TreeOptions& options);
+  // Failure recovery (paper §3.3): rebuilds the DRAM layers from the
+  // persistent leaf list, replays WALs, resets leaf timestamps, reclaims
+  // unreachable leaves and log chunks. `recovery_threads` parallelizes the
+  // log scan/replay phase (paper Figure 17).
+  static std::unique_ptr<CclBTree> Recover(kvindex::Runtime& runtime, const TreeOptions& options,
+                                           int recovery_threads = 1);
+
+  ~CclBTree() override;
+
+  CclBTree(const CclBTree&) = delete;
+  CclBTree& operator=(const CclBTree&) = delete;
+
+  // --- kvindex::KvIndex -----------------------------------------------------
+  void Upsert(uint64_t key, uint64_t value) override;
+  bool Lookup(uint64_t key, uint64_t* value_out) override;
+  bool Remove(uint64_t key) override;  // tombstone upsert (§4.2)
+  size_t Scan(uint64_t start_key, size_t count, kvindex::KeyValue* out) override;
+  const char* name() const override { return "CCL-BTree"; }
+  kvindex::MemoryFootprint Footprint() const override;
+  void FlushAll() override;
+
+  // --- GC (paper §3.4) -------------------------------------------------------
+  // One full GC round in the caller's thread (benches drive this directly;
+  // the background thread calls it when the TH_log trigger fires).
+  void RunGcOnce();
+  bool GcTriggerReached() const;
+
+  // --- introspection ----------------------------------------------------------
+  uint64_t log_live_bytes() const { return wals_->live_bytes(); }
+  uint64_t log_peak_bytes() const { return wals_->peak_bytes(); }
+  uint64_t leaf_bytes() const { return leaf_slab_->allocated_slots() * kLeafBytes; }
+  uint64_t dram_hits() const { return dram_hits_.load(std::memory_order_relaxed); }
+  uint64_t buffer_flushes() const { return buffer_flushes_.load(std::memory_order_relaxed); }
+  uint64_t splits() const { return splits_.load(std::memory_order_relaxed); }
+  uint64_t merges() const { return merges_.load(std::memory_order_relaxed); }
+  uint64_t gc_rounds() const { return gc_rounds_.load(std::memory_order_relaxed); }
+  // Modeled duration of the last Recover() call: serial rebuild walk plus
+  // the slowest parallel replay worker (paper Figure 17).
+  uint64_t last_recovery_modeled_ns() const {
+    return last_recovery_modeled_ns_.load(std::memory_order_relaxed);
+  }
+  const TreeOptions& options() const { return options_; }
+
+  // Walks the persistent leaf list and verifies structural invariants
+  // (ordering between leaves, bitmap/fingerprint agreement). Test hook.
+  bool CheckInvariants() const;
+
+  // Prints the buffer-node and leaf state covering `key` to stderr. Debug
+  // aid for tests; not thread-safe with concurrent writers.
+  void DumpKeyState(uint64_t key) const;
+
+ private:
+  struct TreeRoot {  // persistent root record (pool app-root slot 0)
+    uint64_t magic;
+    uint64_t head_leaf_offset;
+    uint64_t slab_registry_offset;
+    uint64_t arena_registry_offset;
+  };
+  static constexpr uint64_t kTreeMagic = 0xCC1B7123ULL;
+  static constexpr int kAppRootSlot = 0;
+
+  explicit CclBTree(kvindex::Runtime& runtime, const TreeOptions& options, bool recover_tag);
+
+  // --- write path -------------------------------------------------------------
+  void UpsertInternal(uint64_t key, uint64_t value);
+  // Routes to the covering buffer node and acquires its version lock,
+  // retrying on concurrent splits/merges.
+  BufferNode* RouteAndLock(uint64_t key);
+  // Flushes all buffered KVs plus `extra` into the leaf in one batch
+  // (bn locked). `ts` stamps the leaf.
+  void FlushBuffer(BufferNode* bn, const kvindex::KeyValue* extra, uint64_t ts);
+  // Applies `n` KVs to bn's leaf: in-place updates, tombstones, new slots;
+  // splits when full. Persists data lines then the header (bn locked).
+  // When update_ts is false the leaf timestamp is preserved (recovery replay).
+  void BatchInsertLeaf(BufferNode* bn, kvindex::KeyValue* kvs, int n, uint64_t ts,
+                       bool update_ts = true);
+  // Logless split (paper §4.2); returns the new right-hand buffer node.
+  BufferNode* SplitLeaf(BufferNode* bn, uint64_t ts);
+  // Merge bn's underutilized leaf into its left sibling if possible
+  // (paper §4.2). Called with bn *unlocked*; takes locks in key order.
+  void TryMergeLeft(uint64_t sep);
+
+  // --- GC internals ------------------------------------------------------------
+  void GcThreadBody();
+  void NaiveGc();
+  void LocalityAwareGc();
+  // Collects live buffer nodes in key order (brief shared-lock windows).
+  std::vector<BufferNode*> CollectBufferNodes() const;
+
+  // --- recovery internals --------------------------------------------------------
+  void RebuildFromLeafList();
+  void ReplayLogs(int threads);
+  void ResetLeafTimestamps();
+
+  // --- helpers ----------------------------------------------------------------
+  PmLeaf* AllocLeaf(int socket);
+  BufferNode* NewBufferNode(PmLeaf* leaf, uint64_t sep, uint64_t recovery_ts);
+  uint64_t LeafOffset(const PmLeaf* leaf) const;
+  PmLeaf* LeafAt(uint64_t offset) const;
+  void ChargeDram(uint64_t accesses) const;
+
+  kvindex::Runtime& rt_;
+  TreeOptions options_;
+
+  std::unique_ptr<pmem::SlabAllocator> leaf_slab_;
+  std::unique_ptr<pmem::LogArena> log_arena_;
+  std::unique_ptr<WalSet> wals_;
+
+  kvindex::DramBTree<BufferNode*> inner_;
+  PmLeaf* head_leaf_ = nullptr;
+
+  std::atomic<uint32_t> global_epoch_{0};
+  // Gate used only by the naive GC baseline: upserts shared, GC exclusive.
+  std::shared_mutex naive_gate_;
+
+  // All buffer nodes ever created (owned; freed in the destructor — dead
+  // nodes stay allocated so optimistic readers never touch freed memory).
+  mutable std::mutex all_bns_mu_;
+  std::vector<BufferNode*> all_bns_;
+  std::atomic<uint64_t> live_bn_count_{0};
+
+  std::atomic<uint64_t> dram_hits_{0};
+  std::atomic<uint64_t> buffer_flushes_{0};
+  std::atomic<uint64_t> splits_{0};
+  std::atomic<uint64_t> merges_{0};
+  std::atomic<uint64_t> gc_rounds_{0};
+  // Live log bytes right after the last GC round (hysteresis floor).
+  std::atomic<uint64_t> post_gc_live_bytes_{0};
+  std::atomic<uint64_t> last_recovery_modeled_ns_{0};
+  std::atomic<uint64_t> replay_max_vtime_ns_{0};
+
+  std::atomic<bool> stop_gc_{false};
+  std::thread gc_thread_;
+};
+
+}  // namespace cclbt::core
+
+#endif  // SRC_CORE_CCL_BTREE_H_

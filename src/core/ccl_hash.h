@@ -1,0 +1,109 @@
+// CCL-Hash: the paper's §6 extension sketch, implemented. "In the persistent
+// hash tables (e.g., CCEH, CLevel), we can introduce a buffer node for one
+// or multiple buckets to batch the updates to them, and use the
+// write-conservative logging and locality-aware GC to ensure crash
+// consistency with reduced write amplification."
+//
+// Structure:
+//   directory     DRAM   fixed array of buffer nodes, one per bucket
+//   buckets       PM     256 B (one XPLine), same layout as a tree leaf
+//                        (bitmap + fingerprints + timestamp + 14 unsorted
+//                        KV slots); overflow buckets chain via the next
+//                        pointer (CCEH-stash style)
+//   WALs          PM     per-thread, write-conservative (trigger writes are
+//                        not logged)
+//   GC            locality-aware B-log/I-log epoch flip
+//
+// Compared with the tree, recovery is *simpler*: an entry's bucket is
+// recomputed from its key hash, so there is no separator-routing subtlety
+// (no fence entries needed). The table has a fixed bucket count (resizing à
+// la CLevel is out of scope for this prototype).
+#ifndef SRC_CORE_CCL_HASH_H_
+#define SRC_CORE_CCL_HASH_H_
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "src/core/buffer_node.h"
+#include "src/core/leaf_node.h"
+#include "src/core/wal.h"
+#include "src/kvindex/runtime.h"
+#include "src/pmem/slab_allocator.h"
+
+namespace cclbt::core {
+
+class CclHashTable {
+ public:
+  struct Options {
+    size_t num_buckets = 1 << 16;  // fixed; choose ~keys/10 for ~70% load
+    int nbatch = 2;
+    bool write_conservative_logging = true;
+    // false = unbuffered baseline (direct bucket writes, no WAL needed):
+    // the ablation arm of bench_extra_hash_ablation.
+    bool buffering = true;
+    int max_workers = 136;
+  };
+
+  // Formats a fresh table in the runtime's pool (app-root slot 1).
+  CclHashTable(kvindex::Runtime& runtime, const Options& options);
+  // Re-attaches after a crash: rebuilds buffer nodes, replays WALs.
+  static std::unique_ptr<CclHashTable> Recover(kvindex::Runtime& runtime, const Options& options);
+
+  ~CclHashTable();
+
+  CclHashTable(const CclHashTable&) = delete;
+  CclHashTable& operator=(const CclHashTable&) = delete;
+
+  void Upsert(uint64_t key, uint64_t value);
+  bool Lookup(uint64_t key, uint64_t* value_out);
+  bool Remove(uint64_t key);  // tombstone upsert
+
+  // Locality-aware GC round (epoch flip + I-log copy of unflushed entries).
+  void RunGcOnce();
+
+  uint64_t log_live_bytes() const { return wals_->live_bytes(); }
+  uint64_t buffer_flushes() const { return buffer_flushes_.load(std::memory_order_relaxed); }
+  uint64_t overflow_buckets() const { return overflow_buckets_.load(std::memory_order_relaxed); }
+
+ private:
+  struct TableRoot {  // persistent (app-root slot 1)
+    uint64_t magic;
+    uint64_t num_buckets;
+    uint64_t directory_offset;  // array of num_buckets PmLeaf buckets
+    uint64_t slab_registry_offset;
+    uint64_t arena_registry_offset;
+  };
+  static constexpr uint64_t kHashMagic = 0xCC1AA54ULL;
+  static constexpr int kAppRootSlot = 1;
+
+  CclHashTable(kvindex::Runtime& runtime, const Options& options, bool recover_tag);
+
+  size_t BucketIndex(uint64_t key) const { return Mix64(key * 3 + 1) % options_.num_buckets; }
+  PmLeaf* Bucket(size_t index) const { return buckets_ + index; }
+
+  // Applies a batch to a bucket chain under the buffer node's lock:
+  // in-place updates, tombstone bit-clears, appends; allocates overflow
+  // buckets when the chain is full.
+  void BatchInsertBucket(BufferNode* bn, kvindex::KeyValue* kvs, int n, uint64_t ts,
+                         bool update_ts = true);
+  void FlushBuffer(BufferNode* bn, const kvindex::KeyValue* extra, uint64_t ts);
+  void ReplayLogs();
+
+  kvindex::Runtime& rt_;
+  Options options_;
+  std::unique_ptr<pmem::SlabAllocator> overflow_slab_;
+  std::unique_ptr<pmem::LogArena> log_arena_;
+  std::unique_ptr<WalSet> wals_;
+
+  PmLeaf* buckets_ = nullptr;  // contiguous PM array
+  std::vector<BufferNode*> directory_;
+
+  std::atomic<uint32_t> global_epoch_{0};
+  std::atomic<uint64_t> buffer_flushes_{0};
+  std::atomic<uint64_t> overflow_buckets_{0};
+};
+
+}  // namespace cclbt::core
+
+#endif  // SRC_CORE_CCL_HASH_H_

@@ -1,0 +1,108 @@
+// Persistent leaf node of CCL-BTree (paper §4.1, Figure 7(b)).
+//
+// Each leaf is exactly 256 B — one XPLine — so a batch flush of buffered KVs
+// touches a single XPLine. Layout:
+//
+//   [ meta: 8 B ]  14-bit validity bitmap + 48-bit next pointer, packed into
+//                  one word so split/merge can commit linkage + visibility
+//                  with a single atomic 8 B store (paper §4.2).
+//   [ timestamp: 8 B ]  flush timestamp for failure recovery (§3.3).
+//   [ fingerprints: 14 x 1 B ]  per-slot key hashes (FPTree-style filter).
+//   [ padding: 2 B ]
+//   [ kvs: 14 x 16 B ]  unsorted KV slots.
+#ifndef SRC_CORE_LEAF_NODE_H_
+#define SRC_CORE_LEAF_NODE_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/common/fingerprint.h"
+#include "src/kvindex/kv_index.h"
+
+namespace cclbt::core {
+
+inline constexpr int kLeafSlots = 14;
+inline constexpr uint64_t kLeafBytes = 256;
+
+// meta word: bits [0,14) validity bitmap, bits [14,62) next-leaf pool offset
+// divided by 256 (leaves are 256 B aligned), bits [62,64) spare.
+inline constexpr uint64_t kBitmapMask = (1ULL << kLeafSlots) - 1;
+
+inline uint64_t MetaBitmap(uint64_t meta) { return meta & kBitmapMask; }
+inline uint64_t MetaNextOffset(uint64_t meta) { return ((meta >> 14) & ((1ULL << 48) - 1)) << 8; }
+inline uint64_t MakeMeta(uint64_t bitmap, uint64_t next_offset) {
+  return (bitmap & kBitmapMask) | (((next_offset >> 8) & ((1ULL << 48) - 1)) << 14);
+}
+
+struct alignas(kLeafBytes) PmLeaf {
+  std::atomic<uint64_t> meta;
+  uint64_t timestamp;
+  uint8_t fingerprints[kLeafSlots];
+  uint8_t padding[2];
+  kvindex::KeyValue kvs[kLeafSlots];
+
+  uint64_t bitmap() const { return MetaBitmap(meta.load(std::memory_order_acquire)); }
+  uint64_t next_offset() const { return MetaNextOffset(meta.load(std::memory_order_acquire)); }
+
+  bool SlotValid(int slot) const { return (bitmap() >> slot) & 1; }
+  int ValidCount() const { return __builtin_popcountll(bitmap()); }
+
+  // Valid slots holding a live value. A valid slot with value 0 is a *fence
+  // entry*: a tombstoned key kept in place because it is (or was) the leaf's
+  // minimum — removing it would break the min-key == low-bound property that
+  // failure recovery relies on for routing WAL entries (see
+  // CclBTree::BatchInsertLeaf).
+  int LiveCount() const {
+    uint64_t bits = bitmap();
+    int live = 0;
+    for (int slot = 0; slot < kLeafSlots; slot++) {
+      if (((bits >> slot) & 1) && kvs[slot].value != 0) {
+        live++;
+      }
+    }
+    return live;
+  }
+
+  // Slot holding `key`, or -1. Fingerprint-filtered scan of the unsorted
+  // slots (the filter plus bitmap live in the header cacheline, §4.3).
+  int FindSlot(uint64_t key) const {
+    uint64_t bits = bitmap();
+    uint8_t fp = Fingerprint8(key);
+    for (int slot = 0; slot < kLeafSlots; slot++) {
+      if (((bits >> slot) & 1) && fingerprints[slot] == fp && kvs[slot].key == key) {
+        return slot;
+      }
+    }
+    return -1;
+  }
+
+  // First invalid slot, or -1 if full.
+  int FreeSlot() const {
+    uint64_t bits = bitmap();
+    if (bits == kBitmapMask) {
+      return -1;
+    }
+    return __builtin_ctzll(~bits & kBitmapMask);
+  }
+
+  // Smallest valid key; `found`=false for an empty leaf.
+  uint64_t MinKey(bool* found) const {
+    uint64_t bits = bitmap();
+    uint64_t min_key = ~0ULL;
+    bool any = false;
+    for (int slot = 0; slot < kLeafSlots; slot++) {
+      if (((bits >> slot) & 1) && kvs[slot].key < min_key) {
+        min_key = kvs[slot].key;
+        any = true;
+      }
+    }
+    *found = any;
+    return min_key;
+  }
+};
+
+static_assert(sizeof(PmLeaf) == kLeafBytes, "leaf must be exactly one XPLine");
+
+}  // namespace cclbt::core
+
+#endif  // SRC_CORE_LEAF_NODE_H_

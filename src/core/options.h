@@ -1,0 +1,41 @@
+// Tunables of CCL-BTree. Defaults match the paper (§3.2: N_batch = 2,
+// §3.4: TH_log = 20%, one GC thread).
+#ifndef SRC_CORE_OPTIONS_H_
+#define SRC_CORE_OPTIONS_H_
+
+#include <cstdint>
+
+namespace cclbt::core {
+
+enum class GcMode {
+  kNone,           // never reclaim (paper Figure 14 "w/o GC")
+  kNaive,          // stop-the-world flush-to-leaves (Figure 14 "naive GC")
+  kLocalityAware,  // B-log/I-log epoch flip (the paper's design, §3.4)
+};
+
+struct TreeOptions {
+  // Number of KV slots per buffer node (paper N_batch).
+  int nbatch = 2;
+  // GC trigger: run when log bytes exceed th_log_pct% of leaf bytes.
+  int th_log_pct = 20;
+  GcMode gc_mode = GcMode::kLocalityAware;
+  // Ablation switches (paper Figure 13):
+  //   buffering=false                        -> "Base"
+  //   buffering=true, conservative=false     -> "+BNode" (naive logging)
+  //   buffering=true, conservative=true      -> "+WLog"  (full design)
+  bool buffering = true;
+  bool write_conservative_logging = true;
+  // Start the background GC thread (benches may drive GC manually instead).
+  bool background_gc = true;
+  // Parallelism of one locality-aware GC round (paper §5.1: "we set the
+  // default number of GC threads for CCL-BTree to 1"). Each GC worker scans
+  // a partition of the buffer nodes and appends to its own I-log.
+  int gc_threads = 1;
+  // Maximum worker ids (threads) the per-thread WAL array supports. The top
+  // `gc_threads` ids are reserved for GC workers.
+  int max_workers = 136;
+};
+
+}  // namespace cclbt::core
+
+#endif  // SRC_CORE_OPTIONS_H_

@@ -1,0 +1,140 @@
+#include "src/core/wal.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace cclbt::core {
+
+namespace {
+constexpr size_t kEntriesPerChunk =
+    (pmem::kLogChunkBytes - sizeof(LogChunkHeader)) / sizeof(LogEntry);
+}  // namespace
+
+uint8_t EntryChecksum(uint64_t key, uint64_t value) {
+  uint64_t x = key * 0x9e3779b97f4a7c15ULL + value;
+  x ^= x >> 32;
+  x ^= x >> 16;
+  x ^= x >> 8;
+  return static_cast<uint8_t>(x);
+}
+
+uint64_t MakeTsWord(uint32_t generation, uint64_t timestamp, uint64_t key, uint64_t value) {
+  auto tag = static_cast<uint8_t>(generation) ^ EntryChecksum(key, value);
+  return (static_cast<uint64_t>(tag) << 56) | (timestamp & kTsMask);
+}
+
+bool EntryValid(const LogEntry& entry, uint32_t generation) {
+  auto tag = static_cast<uint8_t>(entry.ts_word >> 56);
+  auto expected = static_cast<uint8_t>(generation) ^ EntryChecksum(entry.key, entry.value);
+  return tag == expected && entry.timestamp() != 0;
+}
+
+ThreadWal::~ThreadWal() = default;
+
+bool ThreadWal::ActivateChunk(int epoch) {
+  pmsim::ThreadContext* ctx = pmsim::ThreadContext::Current();
+  assert(ctx != nullptr);
+  void* mem = arena_->AllocChunk(ctx->socket());
+  if (mem == nullptr) {
+    return false;
+  }
+  auto* base = static_cast<std::byte*>(mem);
+  auto* header = reinterpret_cast<LogChunkHeader*>(base);
+  header->magic = kLogChunkMagic;
+  header->generation++;
+  header->state = kChunkActive;
+  header->owner_worker = static_cast<uint32_t>(worker_id_);
+  header->epoch = static_cast<uint32_t>(epoch);
+  pmsim::Persist(header, sizeof(LogChunkHeader));
+  chunks_[epoch].push_back(base);
+  active_[epoch] = ActiveChunk{base, sizeof(LogChunkHeader), header->generation};
+  return true;
+}
+
+bool ThreadWal::Append(int epoch, uint64_t key, uint64_t value, uint64_t timestamp) {
+  ActiveChunk& chunk = active_[epoch];
+  if (chunk.base == nullptr ||
+      chunk.cursor + sizeof(LogEntry) > pmem::kLogChunkBytes) {
+    if (!ActivateChunk(epoch)) {
+      return false;
+    }
+  }
+  ActiveChunk& active = active_[epoch];
+  auto* entry = reinterpret_cast<LogEntry*>(active.base + active.cursor);
+  entry->key = key;
+  entry->value = value;
+  entry->ts_word = MakeTsWord(active.generation, timestamp, key, value);
+  pmsim::Persist(entry, sizeof(LogEntry));
+  active.cursor += sizeof(LogEntry);
+  appended_bytes_[epoch] += sizeof(LogEntry);
+  return true;
+}
+
+uint64_t ThreadWal::ReleaseEpoch(int epoch) {
+  pmsim::ThreadContext* ctx = pmsim::ThreadContext::Current();
+  assert(ctx != nullptr);
+  for (std::byte* base : chunks_[epoch]) {
+    auto* header = reinterpret_cast<LogChunkHeader*>(base);
+    header->state = kChunkFree;
+    pmsim::Persist(&header->state, sizeof(header->state));
+    arena_->FreeChunk(base);
+  }
+  chunks_[epoch].clear();
+  active_[epoch] = ActiveChunk{};
+  uint64_t released = appended_bytes_[epoch];
+  appended_bytes_[epoch] = 0;
+  return released;
+}
+
+WalSet::WalSet(pmem::LogArena& arena, int max_workers) : arena_(&arena) {
+  wals_.reserve(static_cast<size_t>(max_workers));
+  for (int i = 0; i < max_workers; i++) {
+    wals_.push_back(std::make_unique<ThreadWal>(arena, i));
+  }
+}
+
+bool WalSet::Append(int worker_id, int epoch, uint64_t key, uint64_t value, uint64_t timestamp) {
+  assert(worker_id >= 0 && static_cast<size_t>(worker_id) < wals_.size());
+  if (!wals_[static_cast<size_t>(worker_id)]->Append(epoch, key, value, timestamp)) {
+    return false;
+  }
+  uint64_t live =
+      live_bytes_.fetch_add(sizeof(LogEntry), std::memory_order_relaxed) + sizeof(LogEntry);
+  uint64_t peak = peak_bytes_.load(std::memory_order_relaxed);
+  while (live > peak &&
+         !peak_bytes_.compare_exchange_weak(peak, live, std::memory_order_relaxed)) {
+  }
+  return true;
+}
+
+void WalSet::ReleaseEpoch(int epoch) {
+  uint64_t released = 0;
+  for (auto& wal : wals_) {
+    released += wal->ReleaseEpoch(epoch);
+  }
+  live_bytes_.fetch_sub(released, std::memory_order_relaxed);
+}
+
+void WalSet::ScanAll(pmem::LogArena& arena, const std::function<void(const LogEntry&)>& fn) {
+  arena.ForEachChunk([&fn](void* mem) {
+    auto* base = static_cast<std::byte*>(mem);
+    const auto* header = reinterpret_cast<const LogChunkHeader*>(base);
+    if (header->magic != kLogChunkMagic || header->state != kChunkActive) {
+      return;
+    }
+    pmsim::ReadPm(header, sizeof(LogChunkHeader));
+    const auto* entries = reinterpret_cast<const LogEntry*>(base + sizeof(LogChunkHeader));
+    size_t consumed = 0;
+    for (size_t i = 0; i < kEntriesPerChunk; i++) {
+      if (!EntryValid(entries[i], header->generation)) {
+        break;  // End of this chunk's valid prefix.
+      }
+      fn(entries[i]);
+      consumed++;
+    }
+    // Replay reads are sequential; charge one pass over the consumed prefix.
+    pmsim::ReadPm(entries, (consumed + 1) * sizeof(LogEntry));
+  });
+}
+
+}  // namespace cclbt::core

@@ -1,0 +1,130 @@
+// Per-thread write-ahead logs (paper §3.3).
+//
+// Each worker owns a private WAL for scalability; a WAL is a chain of 4 MB
+// log chunks drawn from the shared pmem::LogArena (with its global free
+// list). A log entry is 24 B: a 16 B KV plus an 8 B timestamp word. Because
+// entries are appended sequentially, ~10.7 entries share an XPLine and the
+// XPBuffer merges them into one media write — this is the "additional
+// XBI-amplification caused by logging" term (24/256) of §3.5.
+//
+// Epochs: every WAL keeps two logs, selected by the tree's global epoch bit.
+// Entries written before a GC flip land in the B-log, entries written during
+// GC land in the I-log (§3.4); the GC frees all B-log chunks at the end of a
+// round.
+//
+// Entry validity without zeroing recycled chunks: the chunk header carries a
+// generation counter bumped on every (re)activation, and each entry's
+// timestamp word embeds an 8-bit tag = generation ^ checksum(kv). Replay
+// scans a chunk's entries in order and stops at the first tag mismatch, so
+// stale entries from a previous use of the chunk — or an entry torn by a
+// crash — are never replayed.
+#ifndef SRC_CORE_WAL_H_
+#define SRC_CORE_WAL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/pmem/log_arena.h"
+#include "src/pmsim/device.h"
+
+namespace cclbt::core {
+
+inline constexpr uint64_t kLogChunkMagic = 0x10C41B7ULL;
+inline constexpr uint64_t kTsMask = (1ULL << 56) - 1;
+
+struct LogEntry {
+  uint64_t key;
+  uint64_t value;
+  uint64_t ts_word;  // [tag:8][timestamp:56]
+
+  uint64_t timestamp() const { return ts_word & kTsMask; }
+};
+static_assert(sizeof(LogEntry) == 24);
+
+struct LogChunkHeader {
+  uint64_t magic;
+  uint32_t generation;
+  uint32_t state;  // 0 = free, 1 = active
+  uint32_t owner_worker;
+  uint32_t epoch;
+  uint8_t padding[40];
+};
+static_assert(sizeof(LogChunkHeader) == 64);
+
+inline constexpr uint32_t kChunkFree = 0;
+inline constexpr uint32_t kChunkActive = 1;
+
+// 8-bit content checksum folded into the tag so a torn entry (crash between
+// the KV lines and the timestamp line persisting) fails validation.
+uint8_t EntryChecksum(uint64_t key, uint64_t value);
+uint64_t MakeTsWord(uint32_t generation, uint64_t timestamp, uint64_t key, uint64_t value);
+bool EntryValid(const LogEntry& entry, uint32_t generation);
+
+// One worker's WAL. Not thread-safe: exactly one thread appends (that is the
+// point of per-thread logs).
+class ThreadWal {
+ public:
+  ThreadWal(pmem::LogArena& arena, int worker_id) : arena_(&arena), worker_id_(worker_id) {}
+  ~ThreadWal();
+
+  ThreadWal(const ThreadWal&) = delete;
+  ThreadWal& operator=(const ThreadWal&) = delete;
+
+  // Appends and persists one entry to the `epoch` log. Returns false when
+  // the arena is exhausted.
+  bool Append(int epoch, uint64_t key, uint64_t value, uint64_t timestamp);
+
+  // Releases every chunk of the `epoch` log back to the arena (persisting the
+  // free markers). Returns the number of payload bytes released.
+  uint64_t ReleaseEpoch(int epoch);
+
+  uint64_t appended_bytes(int epoch) const { return appended_bytes_[epoch]; }
+
+ private:
+  struct ActiveChunk {
+    std::byte* base = nullptr;
+    size_t cursor = 0;  // next append offset (past the header)
+    uint32_t generation = 0;
+  };
+
+  bool ActivateChunk(int epoch);
+
+  pmem::LogArena* arena_;
+  int worker_id_;
+  std::vector<std::byte*> chunks_[2];
+  ActiveChunk active_[2];
+  uint64_t appended_bytes_[2] = {0, 0};
+};
+
+// The set of per-worker WALs plus global byte accounting for the GC trigger.
+class WalSet {
+ public:
+  WalSet(pmem::LogArena& arena, int max_workers);
+
+  // Appends on behalf of `worker_id`; updates the global log-size counter.
+  bool Append(int worker_id, int epoch, uint64_t key, uint64_t value, uint64_t timestamp);
+
+  // Frees the `epoch` log of every worker (end of a GC round).
+  void ReleaseEpoch(int epoch);
+
+  uint64_t live_bytes() const { return live_bytes_.load(std::memory_order_relaxed); }
+  // High-water mark of live log bytes (paper Table 2's "peak log size").
+  uint64_t peak_bytes() const { return peak_bytes_.load(std::memory_order_relaxed); }
+
+  // Recovery: scans every arena chunk and invokes `fn` for each valid entry
+  // of each active chunk.
+  static void ScanAll(pmem::LogArena& arena, const std::function<void(const LogEntry&)>& fn);
+
+ private:
+  pmem::LogArena* arena_;
+  std::vector<std::unique_ptr<ThreadWal>> wals_;
+  std::atomic<uint64_t> live_bytes_{0};
+  std::atomic<uint64_t> peak_bytes_{0};
+};
+
+}  // namespace cclbt::core
+
+#endif  // SRC_CORE_WAL_H_

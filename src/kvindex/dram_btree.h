@@ -1,0 +1,376 @@
+// DRAM-resident B+-tree used as the inner-node layer ("the query indexes of
+// inserted keys", paper §4.1) by CCL-BTree and by the DRAM-inner baselines.
+//
+// Semantics: an ordered map from 64-bit separator keys to a pointer-sized
+// payload, with *floor* routing — RouteFloor(k) returns the payload of the
+// greatest separator <= k, which is how a B+-tree directs a key to the leaf
+// whose range contains it.
+//
+// Concurrency: structural operations (separator insert/remove on split/merge)
+// are rare relative to routing, so the tree uses a readers-writer lock:
+// routing and iteration take it shared, structure changes take it exclusive.
+// This substitutes for FAST&FAIR's lock-free inner search (DESIGN.md §6);
+// reported performance comes from the virtual-time model, which is agnostic
+// to the DRAM synchronization scheme.
+#ifndef SRC_KVINDEX_DRAM_BTREE_H_
+#define SRC_KVINDEX_DRAM_BTREE_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <mutex>
+#include <shared_mutex>
+#include <vector>
+
+namespace cclbt::kvindex {
+
+template <typename V>
+class DramBTree {
+ public:
+  static constexpr int kFanout = 64;   // children per inner node
+  static constexpr int kLeafCap = 64;  // entries per leaf node
+
+  DramBTree() { root_ = NewLeaf(); }
+
+  ~DramBTree() {
+    for (Node* node : all_nodes_) {
+      if (node->is_leaf) {
+        delete static_cast<LeafNode*>(node);
+      } else {
+        delete static_cast<InnerNode*>(node);
+      }
+    }
+  }
+
+  DramBTree(const DramBTree&) = delete;
+  DramBTree& operator=(const DramBTree&) = delete;
+
+  // Inserts separator `key` -> `value`. Keys are unique; inserting an
+  // existing key overwrites its payload.
+  void Insert(uint64_t key, V value) {
+    std::unique_lock<std::shared_mutex> guard(mu_);
+    InsertLocked(key, value);
+  }
+
+  // Removes a separator. Returns false if absent.
+  bool Remove(uint64_t key) {
+    std::unique_lock<std::shared_mutex> guard(mu_);
+    return RemoveLocked(key);
+  }
+
+  // Payload of the greatest separator <= key; `found`=false if the tree has
+  // no separator <= key (possible only before the caller seeds a sentinel).
+  V RouteFloor(uint64_t key, bool* found = nullptr) const {
+    std::shared_lock<std::shared_mutex> guard(mu_);
+    const LeafNode* leaf;
+    int pos;
+    if (!FloorEntryLocked(key, &leaf, &pos)) {
+      if (found != nullptr) {
+        *found = false;
+      }
+      return V{};
+    }
+    if (found != nullptr) {
+      *found = true;
+    }
+    return leaf->values[pos];
+  }
+
+  // Like RouteFloor, but also reports the separator key itself.
+  bool RouteFloorEntry(uint64_t key, uint64_t* sep_out, V* value_out) const {
+    std::shared_lock<std::shared_mutex> guard(mu_);
+    const LeafNode* leaf;
+    int pos;
+    if (!FloorEntryLocked(key, &leaf, &pos)) {
+      return false;
+    }
+    *sep_out = leaf->keys[pos];
+    *value_out = leaf->values[pos];
+    return true;
+  }
+
+  // Smallest separator strictly greater than `key`; false if none.
+  bool NextEntry(uint64_t key, uint64_t* next_key, V* next_value) const {
+    std::shared_lock<std::shared_mutex> guard(mu_);
+    const LeafNode* leaf = DescendToLeaf(key);
+    int pos = UpperBound(leaf->keys, leaf->count, key);
+    while (leaf != nullptr && pos >= leaf->count) {
+      leaf = leaf->next;
+      pos = 0;
+    }
+    if (leaf == nullptr) {
+      return false;
+    }
+    *next_key = leaf->keys[pos];
+    *next_value = leaf->values[pos];
+    return true;
+  }
+
+  // Exact lookup of a separator.
+  bool Get(uint64_t key, V* value) const {
+    std::shared_lock<std::shared_mutex> guard(mu_);
+    const LeafNode* leaf = DescendToLeaf(key);
+    int pos = LowerBound(leaf->keys, leaf->count, key);
+    if (pos < leaf->count && leaf->keys[pos] == key) {
+      *value = leaf->values[pos];
+      return true;
+    }
+    return false;
+  }
+
+  // Visits entries in ascending key order starting from the greatest
+  // separator <= start_key (so the covering range is included). `fn` returns
+  // false to stop. Holds the shared lock for the duration: callers that do
+  // slow work per entry should use NextEntry stepping instead.
+  template <typename Fn>
+  void ForEachFrom(uint64_t start_key, Fn&& fn) const {
+    std::shared_lock<std::shared_mutex> guard(mu_);
+    const LeafNode* leaf;
+    int pos;
+    if (!FloorEntryLocked(start_key, &leaf, &pos)) {
+      // No separator <= start_key: begin from the smallest entry instead.
+      leaf = DescendToLeaf(0);
+      pos = 0;
+    }
+    while (leaf != nullptr) {
+      for (; pos < leaf->count; pos++) {
+        if (!fn(leaf->keys[pos], leaf->values[pos])) {
+          return;
+        }
+      }
+      leaf = leaf->next;
+      pos = 0;
+    }
+  }
+
+  size_t size() const {
+    std::shared_lock<std::shared_mutex> guard(mu_);
+    return size_;
+  }
+
+  // Approximate DRAM footprint (nodes only).
+  uint64_t MemoryBytes() const {
+    std::shared_lock<std::shared_mutex> guard(mu_);
+    return inner_count_ * sizeof(InnerNode) + leaf_count_ * sizeof(LeafNode);
+  }
+
+  int height() const {
+    std::shared_lock<std::shared_mutex> guard(mu_);
+    int h = 1;
+    const Node* node = root_;
+    while (!node->is_leaf) {
+      node = static_cast<const InnerNode*>(node)->children[0];
+      h++;
+    }
+    return h;
+  }
+
+ private:
+  struct Node {
+    bool is_leaf;
+    int count = 0;
+    explicit Node(bool leaf) : is_leaf(leaf) {}
+  };
+
+  struct LeafNode : Node {
+    LeafNode() : Node(true) {}
+    uint64_t keys[kLeafCap];
+    V values[kLeafCap];
+    LeafNode* next = nullptr;
+    LeafNode* prev = nullptr;
+  };
+
+  struct InnerNode : Node {
+    InnerNode() : Node(false) {}
+    // children[i] covers keys in [keys[i-1], keys[i]); children[0] covers
+    // everything below keys[0]. count == number of keys.
+    uint64_t keys[kFanout - 1];
+    Node* children[kFanout];
+  };
+
+  static int LowerBound(const uint64_t* keys, int n, uint64_t key) {
+    return static_cast<int>(std::lower_bound(keys, keys + n, key) - keys);
+  }
+  static int UpperBound(const uint64_t* keys, int n, uint64_t key) {
+    return static_cast<int>(std::upper_bound(keys, keys + n, key) - keys);
+  }
+
+  LeafNode* NewLeaf() {
+    auto* leaf = new LeafNode();
+    all_nodes_.push_back(leaf);
+    leaf_count_++;
+    return leaf;
+  }
+  InnerNode* NewInner() {
+    auto* inner = new InnerNode();
+    all_nodes_.push_back(inner);
+    inner_count_++;
+    return inner;
+  }
+
+  const LeafNode* DescendToLeaf(uint64_t key) const {
+    const Node* node = root_;
+    while (!node->is_leaf) {
+      const auto* inner = static_cast<const InnerNode*>(node);
+      node = inner->children[UpperBound(inner->keys, inner->count, key)];
+    }
+    return static_cast<const LeafNode*>(node);
+  }
+
+  // Locates the greatest separator <= key. Handles the cases where the
+  // routed leaf's minimum exceeds `key` (its original minimum was removed)
+  // or the leaf is empty, by walking the doubly-linked leaf list leftward.
+  // Caller holds mu_ (shared or exclusive).
+  bool FloorEntryLocked(uint64_t key, const LeafNode** leaf_out, int* pos_out) const {
+    const LeafNode* leaf = DescendToLeaf(key);
+    int pos = UpperBound(leaf->keys, leaf->count, key) - 1;
+    while (pos < 0) {
+      leaf = leaf->prev;
+      if (leaf == nullptr) {
+        return false;
+      }
+      pos = leaf->count - 1;
+    }
+    *leaf_out = leaf;
+    *pos_out = pos;
+    return true;
+  }
+
+  LeafNode* DescendToLeafMut(uint64_t key, std::vector<InnerNode*>* path,
+                             std::vector<int>* slots) {
+    Node* node = root_;
+    while (!node->is_leaf) {
+      auto* inner = static_cast<InnerNode*>(node);
+      int slot = UpperBound(inner->keys, inner->count, key);
+      path->push_back(inner);
+      slots->push_back(slot);
+      node = inner->children[slot];
+    }
+    return static_cast<LeafNode*>(node);
+  }
+
+  void InsertLocked(uint64_t key, V value) {
+    std::vector<InnerNode*> path;
+    std::vector<int> slots;
+    LeafNode* leaf = DescendToLeafMut(key, &path, &slots);
+    int pos = LowerBound(leaf->keys, leaf->count, key);
+    if (pos < leaf->count && leaf->keys[pos] == key) {
+      leaf->values[pos] = value;
+      return;
+    }
+    if (leaf->count < kLeafCap) {
+      std::copy_backward(leaf->keys + pos, leaf->keys + leaf->count,
+                         leaf->keys + leaf->count + 1);
+      std::copy_backward(leaf->values + pos, leaf->values + leaf->count,
+                         leaf->values + leaf->count + 1);
+      leaf->keys[pos] = key;
+      leaf->values[pos] = value;
+      leaf->count++;
+      size_++;
+      return;
+    }
+    // Split the leaf, then insert into the proper half.
+    LeafNode* right = NewLeaf();
+    int mid = leaf->count / 2;
+    right->count = leaf->count - mid;
+    std::copy(leaf->keys + mid, leaf->keys + leaf->count, right->keys);
+    std::copy(leaf->values + mid, leaf->values + leaf->count, right->values);
+    leaf->count = mid;
+    right->next = leaf->next;
+    right->prev = leaf;
+    if (right->next != nullptr) {
+      right->next->prev = right;
+    }
+    leaf->next = right;
+    uint64_t sep = right->keys[0];
+    LeafNode* target = key < sep ? leaf : right;
+    int tpos = LowerBound(target->keys, target->count, key);
+    std::copy_backward(target->keys + tpos, target->keys + target->count,
+                       target->keys + target->count + 1);
+    std::copy_backward(target->values + tpos, target->values + target->count,
+                       target->values + target->count + 1);
+    target->keys[tpos] = key;
+    target->values[tpos] = value;
+    target->count++;
+    size_++;
+    PropagateSplit(path, slots, sep, right);
+  }
+
+  void PropagateSplit(std::vector<InnerNode*>& path, std::vector<int>& slots, uint64_t sep,
+                      Node* right) {
+    while (!path.empty()) {
+      InnerNode* parent = path.back();
+      int slot = slots.back();
+      path.pop_back();
+      slots.pop_back();
+      if (parent->count < kFanout - 1) {
+        std::copy_backward(parent->keys + slot, parent->keys + parent->count,
+                           parent->keys + parent->count + 1);
+        std::copy_backward(parent->children + slot + 1, parent->children + parent->count + 1,
+                           parent->children + parent->count + 2);
+        parent->keys[slot] = sep;
+        parent->children[slot + 1] = right;
+        parent->count++;
+        return;
+      }
+      // Split the inner node. Insert (sep,right) into a temporary layout.
+      uint64_t keys[kFanout];
+      Node* children[kFanout + 1];
+      std::copy(parent->keys, parent->keys + parent->count, keys);
+      std::copy(parent->children, parent->children + parent->count + 1, children);
+      std::copy_backward(keys + slot, keys + parent->count, keys + parent->count + 1);
+      std::copy_backward(children + slot + 1, children + parent->count + 1,
+                         children + parent->count + 2);
+      keys[slot] = sep;
+      children[slot + 1] = right;
+      int total = parent->count + 1;  // keys in temp
+      int mid = total / 2;            // keys[mid] moves up
+      InnerNode* right_inner = NewInner();
+      parent->count = mid;
+      std::copy(keys, keys + mid, parent->keys);
+      std::copy(children, children + mid + 1, parent->children);
+      right_inner->count = total - mid - 1;
+      std::copy(keys + mid + 1, keys + total, right_inner->keys);
+      std::copy(children + mid + 1, children + total + 1, right_inner->children);
+      sep = keys[mid];
+      right = right_inner;
+    }
+    // Split reached the root: grow the tree.
+    InnerNode* new_root = NewInner();
+    new_root->count = 1;
+    new_root->keys[0] = sep;
+    new_root->children[0] = root_;
+    new_root->children[1] = right;
+    root_ = new_root;
+  }
+
+  bool RemoveLocked(uint64_t key) {
+    // Underflow rebalancing is deliberately omitted: separators are removed
+    // only on leaf merges, which are rare, and an underfull DRAM node costs
+    // memory, not correctness. Leaves are never unlinked so iteration stays
+    // valid.
+    std::vector<InnerNode*> path;
+    std::vector<int> slots;
+    LeafNode* leaf = DescendToLeafMut(key, &path, &slots);
+    int pos = LowerBound(leaf->keys, leaf->count, key);
+    if (pos >= leaf->count || leaf->keys[pos] != key) {
+      return false;
+    }
+    std::copy(leaf->keys + pos + 1, leaf->keys + leaf->count, leaf->keys + pos);
+    std::copy(leaf->values + pos + 1, leaf->values + leaf->count, leaf->values + pos);
+    leaf->count--;
+    size_--;
+    return true;
+  }
+
+  mutable std::shared_mutex mu_;
+  Node* root_;
+  size_t size_ = 0;
+  uint64_t inner_count_ = 0;
+  uint64_t leaf_count_ = 0;
+  std::vector<Node*> all_nodes_;
+};
+
+}  // namespace cclbt::kvindex
+
+#endif  // SRC_KVINDEX_DRAM_BTREE_H_

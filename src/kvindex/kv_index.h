@@ -1,0 +1,56 @@
+// Abstract interface implemented by CCL-BTree and every baseline index so
+// the benchmark harness, YCSB driver and amplification probes are shared.
+//
+// Threading contract: all operations may be called concurrently from worker
+// threads; each worker must hold a live pmsim::ThreadContext (the harness
+// sets this up). Keys and values are 8 B words; variable-size KVs use
+// pmem::ValueStore indirection handles as words (paper §4.4 Opt. 3).
+#ifndef SRC_KVINDEX_KV_INDEX_H_
+#define SRC_KVINDEX_KV_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cclbt::kvindex {
+
+struct KeyValue {
+  uint64_t key;
+  uint64_t value;
+};
+
+struct MemoryFootprint {
+  uint64_t dram_bytes = 0;
+  uint64_t pm_bytes = 0;
+};
+
+class KvIndex {
+ public:
+  virtual ~KvIndex() = default;
+
+  // Insert or update (the paper implements both as upsert, §4.2).
+  virtual void Upsert(uint64_t key, uint64_t value) = 0;
+
+  // Point lookup; returns false if absent.
+  virtual bool Lookup(uint64_t key, uint64_t* value_out) = 0;
+
+  // Delete; returns false if absent. Indexes that cannot detect absence
+  // cheaply may return true unconditionally (noted per implementation).
+  virtual bool Remove(uint64_t key) = 0;
+
+  // Range query: up to `count` entries with key >= start_key in ascending
+  // key order. Returns the number written to `out`.
+  virtual size_t Scan(uint64_t start_key, size_t count, KeyValue* out) = 0;
+
+  virtual const char* name() const = 0;
+
+  // DRAM / PM space accounting for the paper's Figure 18.
+  virtual MemoryFootprint Footprint() const = 0;
+
+  // Hook called once after warm-up so indexes with deferred work (e.g.
+  // DPTree's buffer merge) can reach a steady state before measurement.
+  virtual void FlushAll() {}
+};
+
+}  // namespace cclbt::kvindex
+
+#endif  // SRC_KVINDEX_KV_INDEX_H_

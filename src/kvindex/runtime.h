@@ -1,0 +1,59 @@
+// Shared runtime for all indexes: the simulated device, the PM pool, the
+// out-of-band value store and the ORDO clock. One Runtime per experiment so
+// every index under comparison sees identical hardware.
+#ifndef SRC_KVINDEX_RUNTIME_H_
+#define SRC_KVINDEX_RUNTIME_H_
+
+#include <memory>
+
+#include "src/common/ordo.h"
+#include "src/pmem/log_arena.h"
+#include "src/pmem/pool.h"
+#include "src/pmem/value_store.h"
+#include "src/pmsim/device.h"
+
+namespace cclbt::kvindex {
+
+struct RuntimeOptions {
+  pmsim::DeviceConfig device;
+  // Cross-socket clock skew bound for ORDO timestamps.
+  uint64_t ordo_boundary_ns = 0;
+};
+
+class Runtime {
+ public:
+  explicit Runtime(const RuntimeOptions& options)
+      : options_(options), device_(options.device), ordo_(options.ordo_boundary_ns) {
+    // Pool formatting needs a thread context for its persist calls.
+    pmsim::ThreadContext boot_ctx(device_, /*socket=*/0);
+    pool_ = pmem::PmPool::Create(device_);
+    values_ = std::make_unique<pmem::ValueStore>(*pool_);
+  }
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  pmsim::PmDevice& device() { return device_; }
+  pmem::PmPool& pool() { return *pool_; }
+  pmem::ValueStore& values() { return *values_; }
+  OrdoClock& ordo() { return ordo_; }
+  const RuntimeOptions& options() const { return options_; }
+
+  // Socket for a worker index: fill socket 0's cores first, then socket 1,
+  // mirroring the paper's pthread_setaffinity_np pinning on a 2x48-way box.
+  int SocketForWorker(int worker, int threads_per_socket = 48) const {
+    int socket = worker / threads_per_socket;
+    return socket % device_.config().num_sockets;
+  }
+
+ private:
+  RuntimeOptions options_;
+  pmsim::PmDevice device_;
+  OrdoClock ordo_;
+  std::unique_ptr<pmem::PmPool> pool_;
+  std::unique_ptr<pmem::ValueStore> values_;
+};
+
+}  // namespace cclbt::kvindex
+
+#endif  // SRC_KVINDEX_RUNTIME_H_

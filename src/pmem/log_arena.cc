@@ -1,0 +1,70 @@
+#include "src/pmem/log_arena.h"
+
+#include <cassert>
+
+namespace cclbt::pmem {
+
+LogArena::LogArena(PmPool& pool, size_t max_chunks) : pool_(&pool), max_chunks_(max_chunks) {}
+
+std::unique_ptr<LogArena> LogArena::Create(PmPool& pool, size_t max_chunks) {
+  auto arena = std::unique_ptr<LogArena>(new LogArena(pool, max_chunks));
+  size_t registry_bytes = sizeof(Registry) + max_chunks * sizeof(uint64_t);
+  void* mem = pool.AllocateRaw(registry_bytes, 0, pmsim::StreamTag::kOther);
+  assert(mem != nullptr);
+  arena->registry_ = reinterpret_cast<Registry*>(mem);
+  arena->registry_->chunk_count = 0;
+  pmsim::Persist(&arena->registry_->chunk_count, sizeof(uint64_t));
+  return arena;
+}
+
+std::unique_ptr<LogArena> LogArena::Open(PmPool& pool, uint64_t registry_offset,
+                                         size_t max_chunks) {
+  auto arena = std::unique_ptr<LogArena>(new LogArena(pool, max_chunks));
+  arena->registry_ = reinterpret_cast<Registry*>(pool.ToAddr(registry_offset));
+  return arena;
+}
+
+void* LogArena::AllocChunk(int socket) {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (!free_list_.empty()) {
+    void* chunk = free_list_.back();
+    free_list_.pop_back();
+    return chunk;
+  }
+  if (registry_->chunk_count >= max_chunks_) {
+    return nullptr;
+  }
+  void* chunk = pool_->AllocateRaw(kLogChunkBytes, socket, pmsim::StreamTag::kLog);
+  if (chunk == nullptr) {
+    return nullptr;
+  }
+  uint64_t index = registry_->chunk_count;
+  registry_->chunk_offsets[index] = pool_->ToOffset(chunk);
+  pmsim::Persist(&registry_->chunk_offsets[index], sizeof(uint64_t));
+  registry_->chunk_count = index + 1;
+  pmsim::Persist(&registry_->chunk_count, sizeof(uint64_t));
+  return chunk;
+}
+
+void LogArena::FreeChunk(void* chunk) {
+  std::lock_guard<std::mutex> guard(mu_);
+  free_list_.push_back(chunk);
+}
+
+void LogArena::ForEachChunk(const std::function<void(void*)>& fn) const {
+  for (uint64_t c = 0; c < registry_->chunk_count; c++) {
+    fn(pool_->ToAddr(registry_->chunk_offsets[c]));
+  }
+}
+
+void LogArena::ResetVolatile() {
+  std::lock_guard<std::mutex> guard(mu_);
+  free_list_.clear();
+}
+
+uint64_t LogArena::free_chunks() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return free_list_.size();
+}
+
+}  // namespace cclbt::pmem

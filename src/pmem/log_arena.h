@@ -1,0 +1,71 @@
+// 4 MB log-chunk arena with a global free list (paper §3.3: "Each WAL
+// consists of multiple 4 MB log chunks. CCL-BTree maintains a free log list
+// to manage the recycled log chunks. When a new log chunk is needed, it is
+// first retrieved from the free list. If the free list is empty, a new log
+// chunk is allocated.").
+//
+// The arena persists only the registry of chunks it ever carved from the
+// pool; whether a chunk currently holds live log data is recorded in the
+// chunk's own persistent header, which the WAL layer owns (see
+// src/core/wal.h). After a crash the WAL re-scans all registered chunks.
+#ifndef SRC_PMEM_LOG_ARENA_H_
+#define SRC_PMEM_LOG_ARENA_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/pmem/pool.h"
+
+namespace cclbt::pmem {
+
+inline constexpr size_t kLogChunkBytes = 4 * 1024 * 1024;
+
+class LogArena {
+ public:
+  static std::unique_ptr<LogArena> Create(PmPool& pool, size_t max_chunks = 4096);
+  static std::unique_ptr<LogArena> Open(PmPool& pool, uint64_t registry_offset,
+                                        size_t max_chunks = 4096);
+
+  LogArena(const LogArena&) = delete;
+  LogArena& operator=(const LogArena&) = delete;
+
+  // Pops a recycled chunk from the free list, or carves a new one from
+  // `socket`'s region (NUMA-friendly logging binds each thread's WAL to its
+  // local socket). nullptr on PM exhaustion.
+  void* AllocChunk(int socket);
+  // Returns a chunk to the global free list.
+  void FreeChunk(void* chunk);
+
+  // Recovery: visit every chunk ever carved; the WAL decides liveness from
+  // the chunk header and returns the dead ones through FreeChunk.
+  void ForEachChunk(const std::function<void(void*)>& fn) const;
+
+  // Clears the volatile free list (after Open, before re-scan).
+  void ResetVolatile();
+
+  uint64_t registry_offset() const { return pool_->ToOffset(registry_); }
+  uint64_t total_chunks() const { return registry_->chunk_count; }
+  uint64_t free_chunks() const;
+
+ private:
+  struct Registry {  // persistent
+    uint64_t chunk_count;
+    uint64_t chunk_offsets[];
+  };
+
+  LogArena(PmPool& pool, size_t max_chunks);
+
+  PmPool* pool_;
+  size_t max_chunks_;
+  Registry* registry_ = nullptr;
+
+  mutable std::mutex mu_;
+  std::vector<void*> free_list_;
+};
+
+}  // namespace cclbt::pmem
+
+#endif  // SRC_PMEM_LOG_ARENA_H_

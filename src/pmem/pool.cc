@@ -1,0 +1,77 @@
+#include "src/pmem/pool.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace cclbt::pmem {
+
+namespace {
+constexpr size_t kAllocAlign = 256;  // XPLine alignment for everything.
+
+size_t AlignUp(size_t v, size_t align) { return (v + align - 1) & ~(align - 1); }
+}  // namespace
+
+PmPool::PmPool(pmsim::PmDevice& device) : device_(&device) {}
+
+std::unique_ptr<PmPool> PmPool::Create(pmsim::PmDevice& device) {
+  auto pool = std::unique_ptr<PmPool>(new PmPool(device));
+  PoolRoot* root = pool->root();
+  std::memset(root, 0, sizeof(PoolRoot));
+  root->magic = kPoolMagic;
+  for (int socket = 0; socket < device.config().num_sockets; socket++) {
+    uint64_t region_start = static_cast<uint64_t>(socket) * device.config().socket_region_bytes();
+    // Socket 0 loses the superblock page.
+    root->bump_offset[socket] =
+        socket == 0 ? AlignUp(kSuperblockBytes, kAllocAlign) : region_start;
+  }
+  pmsim::Persist(root, sizeof(PoolRoot));
+  return pool;
+}
+
+std::unique_ptr<PmPool> PmPool::Open(pmsim::PmDevice& device) {
+  auto pool = std::unique_ptr<PmPool>(new PmPool(device));
+  assert(pool->root()->magic == kPoolMagic && "pool not formatted");
+  return pool;
+}
+
+void* PmPool::AllocateRaw(size_t bytes, int socket, pmsim::StreamTag tag) {
+  assert(socket >= 0 && socket < device_->config().num_sockets);
+  bytes = AlignUp(bytes, kAllocAlign);
+  std::lock_guard<std::mutex> guard(mu_);
+  PoolRoot* header = root();
+  uint64_t offset = header->bump_offset[socket];
+  uint64_t region_end =
+      (static_cast<uint64_t>(socket) + 1) * device_->config().socket_region_bytes();
+  if (offset + bytes > region_end) {
+    return nullptr;  // Socket region exhausted.
+  }
+  header->bump_offset[socket] = offset + bytes;
+  pmsim::Persist(&header->bump_offset[socket], sizeof(uint64_t));
+  void* addr = device_->AddrOf(offset);
+  device_->RegisterRange(addr, bytes, tag);
+  return addr;
+}
+
+uint64_t PmPool::GetAppRoot(int slot) const {
+  assert(slot >= 0 && slot < kNumAppRoots);
+  return root()->app_root[slot];
+}
+
+void PmPool::SetAppRoot(int slot, uint64_t offset) {
+  assert(slot >= 0 && slot < kNumAppRoots);
+  root()->app_root[slot] = offset;
+  pmsim::Persist(&root()->app_root[slot], sizeof(uint64_t));
+}
+
+uint64_t PmPool::AllocatedBytes() const {
+  const PoolRoot* header = root();
+  uint64_t total = 0;
+  for (int socket = 0; socket < device_->config().num_sockets; socket++) {
+    uint64_t region_start = static_cast<uint64_t>(socket) * device_->config().socket_region_bytes();
+    uint64_t base = socket == 0 ? AlignUp(kSuperblockBytes, kAllocAlign) : region_start;
+    total += header->bump_offset[socket] - base;
+  }
+  return total;
+}
+
+}  // namespace cclbt::pmem

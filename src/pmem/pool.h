@@ -1,0 +1,73 @@
+// PM pool management on top of the simulated device.
+//
+// The pool owns a small persistent superblock at offset 0 holding per-socket
+// bump pointers and eight application root slots (a real PMDK-style pool
+// header). All pool allocations are chunk-granular (allocators below carve
+// fine-grained objects out of chunks), so persisting the bump pointer per
+// allocation is cheap.
+#ifndef SRC_PMEM_POOL_H_
+#define SRC_PMEM_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "src/pmsim/device.h"
+
+namespace cclbt::pmem {
+
+inline constexpr uint64_t kPoolMagic = 0xCC1B7EEE2024ULL;
+inline constexpr int kMaxSockets = 8;
+inline constexpr int kNumAppRoots = 8;
+inline constexpr size_t kSuperblockBytes = 4096;
+
+// Persistent pool header (lives at device offset 0).
+struct PoolRoot {
+  uint64_t magic;
+  uint64_t bump_offset[kMaxSockets];  // next free offset per socket region
+  uint64_t app_root[kNumAppRoots];    // application-owned offsets (0 == unset)
+};
+static_assert(sizeof(PoolRoot) <= kSuperblockBytes);
+
+class PmPool {
+ public:
+  // Formats a fresh pool (Create) or attaches to an existing one (Open —
+  // used by recovery paths to simulate a post-restart re-open).
+  static std::unique_ptr<PmPool> Create(pmsim::PmDevice& device);
+  static std::unique_ptr<PmPool> Open(pmsim::PmDevice& device);
+
+  PmPool(const PmPool&) = delete;
+  PmPool& operator=(const PmPool&) = delete;
+
+  pmsim::PmDevice& device() const { return *device_; }
+
+  // Allocates `bytes` from `socket`'s region, 256 B aligned, tagging the
+  // range for media-write attribution. Aborts (returns nullptr) when the
+  // socket region is exhausted.
+  void* AllocateRaw(size_t bytes, int socket, pmsim::StreamTag tag);
+
+  // Offset <-> pointer helpers (PM data structures store offsets, never raw
+  // pointers, so a re-open at a different base address stays valid).
+  uint64_t ToOffset(const void* addr) const { return device_->OffsetOf(addr); }
+  void* ToAddr(uint64_t offset) const { return device_->AddrOf(offset); }
+
+  // Application root slots: persistent named entry points for recovery.
+  uint64_t GetAppRoot(int slot) const;
+  void SetAppRoot(int slot, uint64_t offset);
+
+  // Total bytes handed out (PM consumption accounting, Figure 18).
+  uint64_t AllocatedBytes() const;
+
+ private:
+  explicit PmPool(pmsim::PmDevice& device);
+
+  PoolRoot* root() const { return reinterpret_cast<PoolRoot*>(device_->base()); }
+
+  pmsim::PmDevice* device_;
+  std::mutex mu_;
+};
+
+}  // namespace cclbt::pmem
+
+#endif  // SRC_PMEM_POOL_H_

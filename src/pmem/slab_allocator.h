@@ -1,0 +1,89 @@
+// Chunk-based fixed-size PM allocator (paper §4.2: "we adopt the chunk-based
+// allocation strategy [7] to avoid the potential PM leak for the newly
+// created leaf node").
+//
+// Leak-safety argument: the only *persistent* allocator metadata is the
+// registry of chunks, updated once per chunk (not per object). Object
+// liveness is owned by the data structure (a leaf is live iff it is reachable
+// through the persistent leaf linked list / carries a valid header), so after
+// a crash Recover() rebuilds the volatile free lists by scanning chunk slots
+// with a caller-provided liveness predicate — allocated-but-never-linked
+// objects are reclaimed instead of leaking.
+#ifndef SRC_PMEM_SLAB_ALLOCATOR_H_
+#define SRC_PMEM_SLAB_ALLOCATOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/pmem/pool.h"
+
+namespace cclbt::pmem {
+
+class SlabAllocator {
+ public:
+  struct Options {
+    size_t slot_bytes = 256;
+    size_t slots_per_chunk = 1024;  // 256 KB chunks by default
+    size_t max_chunks = 64 * 1024;
+    pmsim::StreamTag tag = pmsim::StreamTag::kLeaf;
+  };
+
+  // Creates a fresh allocator; its persistent registry offset is available
+  // via registry_offset() for storage in a pool app-root slot.
+  static std::unique_ptr<SlabAllocator> Create(PmPool& pool, const Options& options);
+  // Re-attaches to an existing registry after a (simulated) restart. Volatile
+  // free lists are empty until Recover() runs.
+  static std::unique_ptr<SlabAllocator> Open(PmPool& pool, uint64_t registry_offset,
+                                             const Options& options);
+
+  SlabAllocator(const SlabAllocator&) = delete;
+  SlabAllocator& operator=(const SlabAllocator&) = delete;
+
+  // Returns a zero-initialized? No: returns the raw slot (callers initialize
+  // and persist). nullptr when PM is exhausted.
+  void* Allocate(int socket);
+  void Free(void* slot);
+
+  // Rebuilds free lists: a slot is free iff !is_live(slot). Called once
+  // during failure recovery, before any Allocate.
+  void Recover(const std::function<bool(const void*)>& is_live);
+
+  // Visits every slot of every chunk (live or not).
+  void ForEachSlot(const std::function<void(void*)>& fn) const;
+
+  uint64_t registry_offset() const { return pool_->ToOffset(registry_); }
+  size_t slot_bytes() const { return options_.slot_bytes; }
+  uint64_t allocated_slots() const { return allocated_slots_.load(std::memory_order_relaxed); }
+  uint64_t total_chunk_bytes() const;
+
+ private:
+  struct Registry {  // persistent
+    uint64_t chunk_count;
+    uint64_t chunk_offsets[];  // flexible array, max_chunks entries
+  };
+
+  SlabAllocator(PmPool& pool, const Options& options);
+
+  bool GrowLocked(int socket);
+
+  PmPool* pool_;
+  Options options_;
+  Registry* registry_ = nullptr;
+
+  struct SocketState {
+    std::mutex mu;
+    std::vector<void*> free_slots;
+  };
+  std::vector<std::unique_ptr<SocketState>> sockets_;
+  // Which socket each chunk was carved for (parallel to registry entries);
+  // rebuilt on Open from the chunk address itself.
+  std::atomic<uint64_t> allocated_slots_{0};
+};
+
+}  // namespace cclbt::pmem
+
+#endif  // SRC_PMEM_SLAB_ALLOCATOR_H_

@@ -1,0 +1,57 @@
+// Out-of-band storage for variable-size keys and values (paper §4.4
+// Optimization 3): data larger than 8 B lives in a reserved PM area and the
+// tree stores an 8 B indirection pointer whose most significant bit
+// distinguishes it from inline data.
+#ifndef SRC_PMEM_VALUE_STORE_H_
+#define SRC_PMEM_VALUE_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "src/pmem/pool.h"
+
+namespace cclbt::pmem {
+
+// MSB tag: set => the 8 B word is an indirection pointer (pool offset in the
+// low 63 bits), clear => inline data.
+inline constexpr uint64_t kIndirectBit = 1ULL << 63;
+
+inline bool IsIndirect(uint64_t word) { return (word & kIndirectBit) != 0; }
+
+class ValueStore {
+ public:
+  explicit ValueStore(PmPool& pool);
+
+  ValueStore(const ValueStore&) = delete;
+  ValueStore& operator=(const ValueStore&) = delete;
+
+  // Persists `data` out-of-band and returns the tagged handle. Data of 8 B or
+  // less should be stored inline by the caller instead.
+  uint64_t Append(std::span<const std::byte> data, int socket);
+
+  // Resolves a handle; charges PM read latency for the blob.
+  std::span<const std::byte> Read(uint64_t handle) const;
+
+  uint64_t allocated_bytes() const { return allocated_bytes_; }
+
+ private:
+  struct Blob {  // persistent, 8 B header then payload
+    uint64_t size;
+    std::byte data[];
+  };
+
+  static constexpr size_t kRegionBytes = 1 << 20;
+
+  PmPool* pool_;
+  std::mutex mu_;
+  std::vector<std::byte*> region_cursor_;  // per socket: next free byte
+  std::vector<std::byte*> region_end_;
+  uint64_t allocated_bytes_ = 0;
+};
+
+}  // namespace cclbt::pmem
+
+#endif  // SRC_PMEM_VALUE_STORE_H_

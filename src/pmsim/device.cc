@@ -1,0 +1,372 @@
+#include "src/pmsim/device.h"
+
+#include <sys/mman.h>
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace cclbt::pmsim {
+
+namespace {
+thread_local ThreadContext* tl_current_context = nullptr;
+
+uintptr_t LineOf(uintptr_t offset) { return offset & ~(kCachelineBytes - 1); }
+}  // namespace
+
+ThreadContext::ThreadContext(PmDevice& device, int socket, int worker_id)
+    : device_(device), socket_(socket), worker_id_(worker_id) {
+  pending_lines_.reserve(64);
+  previous_ = tl_current_context;
+  tl_current_context = this;
+  device_.RegisterContext(this);
+}
+
+ThreadContext::~ThreadContext() {
+  device_.UnregisterContext(this);
+  if (tl_current_context == this) {
+    tl_current_context = previous_;
+  }
+}
+
+ThreadContext* ThreadContext::Current() { return tl_current_context; }
+
+void ThreadContext::SetCurrent(ThreadContext* ctx) { tl_current_context = ctx; }
+
+PmDevice::PmDevice(const DeviceConfig& config) : config_(config) {
+  assert(config_.pool_bytes % (config_.socket_region_bytes()) == 0);
+  pool_ = MapAnonymous(config_.pool_bytes);
+  if (config_.crash_tracking) {
+    shadow_ = MapAnonymous(config_.pool_bytes);
+  }
+  assert(config_.xpline_bytes >= kCachelineBytes && config_.xpline_bytes <= 4096 &&
+         (config_.xpline_bytes & (config_.xpline_bytes - 1)) == 0 &&
+         "media unit must be a power of two in [64, 4096]");
+  for (int i = 0; i < config_.total_dimms(); i++) {
+    xpbuffers_.push_back(std::make_unique<XpBuffer>(
+        config_.xpbuffer_entries(),
+        static_cast<int>(config_.xpline_bytes / kCachelineBytes)));
+    dimm_busy_until_ns_.push_back(std::make_unique<std::atomic<uint64_t>>(0));
+  }
+  size_t num_pages = (config_.pool_bytes + kTagPageBytes - 1) / kTagPageBytes;
+  page_tags_ = std::make_unique<std::atomic<uint8_t>[]>(num_pages);
+  for (size_t i = 0; i < num_pages; i++) {
+    page_tags_[i].store(static_cast<uint8_t>(StreamTag::kOther), std::memory_order_relaxed);
+  }
+  eadr_cache_.reserve(config_.eadr_cache_lines + 1);
+}
+
+PmDevice::~PmDevice() {
+  Unmap(pool_);
+  Unmap(shadow_);
+}
+
+PmDevice::Mapping PmDevice::MapAnonymous(size_t bytes) {
+  void* mem = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  assert(mem != MAP_FAILED && "mmap failed");
+  return Mapping{static_cast<std::byte*>(mem), bytes};
+}
+
+void PmDevice::Unmap(Mapping& mapping) {
+  if (mapping.data != nullptr) {
+    ::munmap(mapping.data, mapping.bytes);
+    mapping.data = nullptr;
+  }
+}
+
+int PmDevice::DimmOf(uintptr_t offset) const {
+  int socket = SocketOf(offset);
+  uintptr_t in_socket = offset % config_.socket_region_bytes();
+  auto dimm_in_socket = static_cast<int>((in_socket / config_.interleave_bytes) %
+                                         static_cast<size_t>(config_.dimms_per_socket));
+  return socket * config_.dimms_per_socket + dimm_in_socket;
+}
+
+void PmDevice::RegisterRange(const void* start, size_t len, StreamTag tag) {
+  uintptr_t off = OffsetOf(start);
+  size_t first = off / kTagPageBytes;
+  size_t last = (off + len + kTagPageBytes - 1) / kTagPageBytes;
+  for (size_t page = first; page < last; page++) {
+    page_tags_[page].store(static_cast<uint8_t>(tag), std::memory_order_relaxed);
+  }
+}
+
+StreamTag PmDevice::TagOf(uintptr_t offset) const {
+  return static_cast<StreamTag>(page_tags_[offset / kTagPageBytes].load(std::memory_order_relaxed));
+}
+
+void PmDevice::FlushLine(ThreadContext& ctx, const void* addr) {
+  assert(Contains(addr));
+  stats_.AddLineFlush();
+  uintptr_t line = LineOf(OffsetOf(addr));
+  if (config_.eadr) {
+    // No explicit flush cost: the store is already persistent. The dirty line
+    // will reach the XPBuffer via the modeled cache-eviction stream.
+    if (shadow_.data != nullptr) {
+      std::memcpy(shadow_.get() + line, pool_.get() + line, kCachelineBytes);
+    }
+    EadrCacheInsert(ctx, line);
+    return;
+  }
+  ctx.AdvanceCpu(config_.cost.cacheline_flush_ns);
+  // Dedup within the pending set: repeated clwb of the same line before the
+  // fence costs CPU but persists once.
+  auto& pending = ctx.pending_lines_;
+  if (std::find(pending.begin(), pending.end(), line) == pending.end()) {
+    pending.push_back(line);
+  }
+}
+
+void PmDevice::Fence(ThreadContext& ctx) {
+  stats_.AddFence();
+  if (config_.eadr) {
+    return;  // No ordering cost modeled in eADR mode.
+  }
+  ctx.AdvanceCpu(config_.cost.fence_ns);
+  for (uintptr_t line : ctx.pending_lines_) {
+    CommitLine(ctx, line);
+  }
+  ctx.pending_lines_.clear();
+}
+
+void PmDevice::PersistRange(ThreadContext& ctx, const void* addr, size_t len) {
+  auto start = LineOf(OffsetOf(addr));
+  auto end = OffsetOf(addr) + len;
+  for (uintptr_t line = start; line < end; line += kCachelineBytes) {
+    FlushLine(ctx, pool_.get() + line);
+  }
+  Fence(ctx);
+}
+
+void PmDevice::CommitLine(ThreadContext& ctx, uintptr_t line_offset) {
+  if (shadow_.data != nullptr) {
+    std::memcpy(shadow_.get() + line_offset, pool_.get() + line_offset, kCachelineBytes);
+  }
+  PushThroughXpBuffer(ctx, line_offset);
+}
+
+void PmDevice::PushThroughXpBuffer(ThreadContext& ctx, uintptr_t line_offset) {
+  int dimm = DimmOf(line_offset);
+  bool remote = SocketOf(line_offset) != ctx.socket();
+  if (remote) {
+    stats_.AddRemoteAccess();
+  }
+  size_t unit = config_.xpline_bytes;
+  XpBufferResult result = xpbuffers_[static_cast<size_t>(dimm)]->OnLineFlush(
+      line_offset / unit, static_cast<int>((line_offset % unit) / kCachelineBytes),
+      TagOf(line_offset));
+  if (result.evicted) {
+    stats_.AddMediaWrite(result.evicted_tag, unit);
+    if (result.rmw) {
+      stats_.AddMediaRead(unit);
+    }
+    ChargeMediaWrite(ctx, dimm, result.rmw, remote);
+  }
+}
+
+void PmDevice::ChargeMediaWrite(ThreadContext& ctx, int dimm, bool rmw, bool remote) {
+  // Service time scales with the media unit (a 4 KB flash page takes
+  // proportionally longer than a 256 B XPLine).
+  uint64_t unit_scale = config_.xpline_bytes / kXplineBytes;
+  if (unit_scale == 0) {
+    unit_scale = 1;
+  }
+  uint64_t service = (config_.cost.xpline_write_service_ns +
+                      (rmw ? config_.cost.xpline_rmw_extra_ns : 0)) *
+                     unit_scale;
+  if (remote) {
+    service = service * config_.cost.remote_penalty_pct / 100;
+  }
+  auto& busy = *dimm_busy_until_ns_[static_cast<size_t>(dimm)];
+  uint64_t now = ctx.now_ns();
+  uint64_t observed = busy.load(std::memory_order_relaxed);
+  uint64_t finish;
+  do {
+    finish = std::max(observed, now) + service;
+  } while (!busy.compare_exchange_weak(observed, finish, std::memory_order_relaxed));
+  // Media writes are asynchronous behind the WPQ, but a writer stalls once
+  // the queue of unserviced media work exceeds the WPQ slack: this is what
+  // makes XPLine count — not cacheline count — the bottleneck under load
+  // (paper Figure 2).
+  uint64_t lag = finish - now;
+  if (lag > config_.cost.wpq_slack_ns) {
+    ctx.AdvanceCpu(lag - config_.cost.wpq_slack_ns);
+  }
+}
+
+void PmDevice::ReadPm(ThreadContext& ctx, const void* addr, size_t len) {
+  assert(Contains(addr));
+  size_t unit = config_.xpline_bytes;
+  uintptr_t start = OffsetOf(addr) / unit;
+  uintptr_t end = (OffsetOf(addr) + len + unit - 1) / unit;
+  for (uintptr_t xpline = start; xpline < end; xpline++) {
+    uintptr_t offset = xpline * unit;
+    int dimm = DimmOf(offset);
+    bool remote = SocketOf(offset) != ctx.socket();
+    bool hit = xpbuffers_[static_cast<size_t>(dimm)]->OnRead(xpline);
+    stats_.AddPmRead(hit);
+    if (remote) {
+      stats_.AddRemoteAccess();
+    }
+    uint64_t latency = hit ? config_.cost.pm_read_hit_ns : config_.cost.pm_read_ns;
+    if (remote) {
+      latency = latency * config_.cost.remote_penalty_pct / 100;
+    }
+    if (!hit) {
+      stats_.AddMediaRead(unit);
+      // Read misses occupy the DIMM's media server: the read completes no
+      // earlier than the queued media work, which is what saturates
+      // read-heavy multi-thread workloads on real DCPMM.
+      uint64_t service = config_.cost.xpline_read_service_ns;
+      if (remote) {
+        service = service * config_.cost.remote_penalty_pct / 100;
+      }
+      auto& busy = *dimm_busy_until_ns_[static_cast<size_t>(dimm)];
+      uint64_t now = ctx.now_ns();
+      uint64_t observed = busy.load(std::memory_order_relaxed);
+      uint64_t finish;
+      do {
+        finish = std::max(observed, now) + service;
+      } while (!busy.compare_exchange_weak(observed, finish, std::memory_order_relaxed));
+      uint64_t queue_delay = finish - now > service ? finish - now - service : 0;
+      ctx.AdvanceCpu(queue_delay);
+    }
+    ctx.AdvanceCpu(latency);
+  }
+}
+
+void PmDevice::EadrCacheInsert(ThreadContext& ctx, uintptr_t line_offset) {
+  std::lock_guard<std::mutex> guard(eadr_mu_);
+  eadr_cache_.push_back(line_offset);
+  while (eadr_cache_.size() > config_.eadr_cache_lines) {
+    // Implicit eviction picks an arbitrary dirty line: locality a program had
+    // when writing is gone by eviction time (paper §5.5).
+    size_t victim = eadr_rng_.NextBounded(eadr_cache_.size());
+    uintptr_t line = eadr_cache_[victim];
+    eadr_cache_[victim] = eadr_cache_.back();
+    eadr_cache_.pop_back();
+    PushThroughXpBuffer(ctx, line);
+  }
+}
+
+void PmDevice::DrainBuffers() {
+  // Flush the modeled CPU cache first (eADR), then the XPBuffers.
+  if (config_.eadr) {
+    std::lock_guard<std::mutex> guard(eadr_mu_);
+    ThreadContext* ctx = ThreadContext::Current();
+    for (uintptr_t line : eadr_cache_) {
+      if (ctx != nullptr) {
+        PushThroughXpBuffer(*ctx, line);
+      }
+    }
+    eadr_cache_.clear();
+  }
+  for (auto& xpbuffer : xpbuffers_) {
+    xpbuffer->Drain([this](bool rmw, StreamTag tag) {
+      stats_.AddMediaWrite(tag);
+      if (rmw) {
+        stats_.AddMediaRead();
+      }
+    });
+  }
+}
+
+void PmDevice::Crash() {
+  assert(shadow_.data != nullptr && "Crash() requires crash_tracking");
+  {
+    std::lock_guard<std::mutex> guard(contexts_mu_);
+    for (ThreadContext* ctx : contexts_) {
+      ctx->pending_lines_.clear();
+    }
+  }
+  std::memcpy(pool_.get(), shadow_.get(), config_.pool_bytes);
+  // Fresh boot: the XPBuffer is power-protected, so its content already lives
+  // in the shadow image; the model itself restarts cold.
+  for (auto& xpbuffer : xpbuffers_) {
+    xpbuffer->Drain([](bool, StreamTag) {});
+  }
+}
+
+void PmDevice::CrashTorn(uint64_t seed) {
+  assert(shadow_.data != nullptr && "CrashTorn() requires crash_tracking");
+  Rng rng(seed);
+  {
+    std::lock_guard<std::mutex> guard(contexts_mu_);
+    for (ThreadContext* ctx : contexts_) {
+      for (uintptr_t line : ctx->pending_lines_) {
+        if ((rng.Next() & 1) != 0) {
+          std::memcpy(shadow_.get() + line, pool_.get() + line, kCachelineBytes);
+        }
+      }
+      ctx->pending_lines_.clear();
+    }
+  }
+  std::memcpy(pool_.get(), shadow_.get(), config_.pool_bytes);
+  for (auto& xpbuffer : xpbuffers_) {
+    xpbuffer->Drain([](bool, StreamTag) {});
+  }
+}
+
+uint64_t PmDevice::MaxDimmBusyNs() const {
+  uint64_t max_busy = 0;
+  for (const auto& busy : dimm_busy_until_ns_) {
+    max_busy = std::max(max_busy, busy->load(std::memory_order_relaxed));
+  }
+  return max_busy;
+}
+
+void PmDevice::ResetCosts() {
+  for (auto& busy : dimm_busy_until_ns_) {
+    busy->store(0, std::memory_order_relaxed);
+  }
+  // Keep every live virtual clock coherent with the reset busy timeline
+  // (background threads like a GC worker would otherwise re-enter with a
+  // clock far ahead of fresh bench workers and stall them behind phantom
+  // queueing).
+  std::lock_guard<std::mutex> guard(contexts_mu_);
+  for (ThreadContext* ctx : contexts_) {
+    ctx->ResetClock(0);
+  }
+}
+
+void PmDevice::RegisterContext(ThreadContext* ctx) {
+  std::lock_guard<std::mutex> guard(contexts_mu_);
+  contexts_.push_back(ctx);
+}
+
+void PmDevice::UnregisterContext(ThreadContext* ctx) {
+  std::lock_guard<std::mutex> guard(contexts_mu_);
+  contexts_.erase(std::remove(contexts_.begin(), contexts_.end(), ctx), contexts_.end());
+}
+
+void FlushLine(const void* addr) {
+  ThreadContext* ctx = ThreadContext::Current();
+  assert(ctx != nullptr);
+  ctx->device().FlushLine(*ctx, addr);
+}
+
+void Fence() {
+  ThreadContext* ctx = ThreadContext::Current();
+  assert(ctx != nullptr);
+  ctx->device().Fence(*ctx);
+}
+
+void Persist(const void* addr, size_t len) {
+  ThreadContext* ctx = ThreadContext::Current();
+  assert(ctx != nullptr);
+  ctx->device().PersistRange(*ctx, addr, len);
+}
+
+void ReadPm(const void* addr, size_t len) {
+  ThreadContext* ctx = ThreadContext::Current();
+  assert(ctx != nullptr);
+  ctx->device().ReadPm(*ctx, addr, len);
+}
+
+void AdvanceCpu(uint64_t ns) {
+  ThreadContext* ctx = ThreadContext::Current();
+  assert(ctx != nullptr);
+  ctx->AdvanceCpu(ns);
+}
+
+}  // namespace cclbt::pmsim

@@ -1,0 +1,159 @@
+// The simulated persistent-memory device. See DESIGN.md §1-2 for the
+// substitution rationale.
+//
+// Address space: one contiguous pool. The pool is split into one contiguous
+// region per socket; within a socket, addresses interleave across the
+// socket's DIMMs at `interleave_bytes` granularity (mirroring how the kernel
+// interleaves an App Direct namespace across DIMMs).
+//
+// Persistence model (ADR): regular stores hit the working image only. A
+// cacheline becomes persistent when it has been flushed (FlushLine) *and* a
+// subsequent fence executed on the same thread; at that point the line is
+// copied into the shadow persistent image and pushed through the XPBuffer
+// model, which generates media traffic on eviction. Crash() restores the
+// working image from the shadow image, so unflushed/unfenced stores vanish
+// exactly as they would on real ADR hardware.
+#ifndef SRC_PMSIM_DEVICE_H_
+#define SRC_PMSIM_DEVICE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/pmsim/config.h"
+#include "src/pmsim/stats.h"
+#include "src/pmsim/thread_context.h"
+#include "src/pmsim/xpbuffer.h"
+
+namespace cclbt::pmsim {
+
+class PmDevice {
+ public:
+  explicit PmDevice(const DeviceConfig& config);
+  ~PmDevice();
+
+  PmDevice(const PmDevice&) = delete;
+  PmDevice& operator=(const PmDevice&) = delete;
+
+  std::byte* base() { return pool_.get(); }
+  const std::byte* base() const { return pool_.get(); }
+  size_t size() const { return config_.pool_bytes; }
+  const DeviceConfig& config() const { return config_; }
+  Stats& stats() { return stats_; }
+
+  bool Contains(const void* addr) const {
+    auto p = reinterpret_cast<const std::byte*>(addr);
+    return p >= pool_.get() && p < pool_.get() + config_.pool_bytes;
+  }
+  uintptr_t OffsetOf(const void* addr) const {
+    return static_cast<uintptr_t>(reinterpret_cast<const std::byte*>(addr) - pool_.get());
+  }
+  void* AddrOf(uintptr_t offset) { return pool_.get() + offset; }
+
+  int SocketOf(uintptr_t offset) const {
+    return static_cast<int>(offset / config_.socket_region_bytes());
+  }
+  // Global DIMM index in [0, total_dimms).
+  int DimmOf(uintptr_t offset) const;
+
+  // --- stream attribution -------------------------------------------------
+  // Allocators register the ranges they hand out so evicted XPLines can be
+  // attributed to leaf vs log traffic (Figure 13(b)).
+  void RegisterRange(const void* start, size_t len, StreamTag tag);
+  StreamTag TagOf(uintptr_t offset) const;
+
+  // --- persistence primitives ----------------------------------------------
+  // clwb: marks one 64 B line for persistence at the next fence.
+  void FlushLine(ThreadContext& ctx, const void* addr);
+  // sfence: commits all pending lines (shadow copy + XPBuffer + media cost).
+  void Fence(ThreadContext& ctx);
+  // Convenience: flush every line covering [addr, addr+len) and fence.
+  void PersistRange(ThreadContext& ctx, const void* addr, size_t len);
+
+  // --- read path ------------------------------------------------------------
+  // Charges PM read latency for [addr, addr+len) and records media reads for
+  // XPLines not resident in the XPBuffer.
+  void ReadPm(ThreadContext& ctx, const void* addr, size_t len);
+
+  // --- end-of-run / failure -------------------------------------------------
+  // Flush all XPBuffers to media (power-down accounting; keeps persistence).
+  void DrainBuffers();
+  // Power failure: pending (unfenced) lines are lost, XPBuffer content is
+  // preserved (it sits behind ADR), the working image is restored from the
+  // persistent image. Callers must have quiesced all worker threads.
+  void Crash();
+  // Like Crash(), but each pending unfenced line independently persists with
+  // probability 1/2 (clwb without sfence *may* reach the DIMM). Exercises
+  // recovery under torn fence groups.
+  void CrashTorn(uint64_t seed);
+
+  // Largest virtual completion time across DIMM write servers; a run's
+  // modeled elapsed time is max(worker clocks, this).
+  uint64_t MaxDimmBusyNs() const;
+
+  // Reset performance accounting between bench phases (not persistence state).
+  void ResetCosts();
+
+ private:
+  friend class ThreadContext;
+
+  // Copies one line to the shadow image and pushes it through the XPBuffer,
+  // charging media costs to `ctx`.
+  void CommitLine(ThreadContext& ctx, uintptr_t line_offset);
+  void PushThroughXpBuffer(ThreadContext& ctx, uintptr_t line_offset);
+  void ChargeMediaWrite(ThreadContext& ctx, int dimm, bool rmw, bool remote);
+  // eADR: insert the line into the modeled CPU cache, randomly evicting.
+  void EadrCacheInsert(ThreadContext& ctx, uintptr_t line_offset);
+
+  void RegisterContext(ThreadContext* ctx);
+  void UnregisterContext(ThreadContext* ctx);
+
+  // Pool and shadow image are anonymous mappings: zero-filled lazily by the
+  // kernel, so a large pool costs nothing until touched.
+  struct Mapping {
+    std::byte* data = nullptr;
+    size_t bytes = 0;
+    std::byte* get() const { return data; }
+  };
+  static Mapping MapAnonymous(size_t bytes);
+  static void Unmap(Mapping& mapping);
+
+  DeviceConfig config_;
+  Mapping pool_;
+  Mapping shadow_;
+  Stats stats_;
+  std::vector<std::unique_ptr<XpBuffer>> xpbuffers_;  // one per DIMM
+  std::vector<std::unique_ptr<std::atomic<uint64_t>>> dimm_busy_until_ns_;
+
+  // Stream tag per 4 KB pool page. Written at allocator-registration time,
+  // read on every XPLine eviction; relaxed atomics keep concurrent
+  // registration/eviction well-defined.
+  static constexpr size_t kTagPageBytes = 4096;
+  std::unique_ptr<std::atomic<uint8_t>[]> page_tags_;
+
+  std::mutex contexts_mu_;
+  std::vector<ThreadContext*> contexts_;
+
+  // eADR modeled CPU cache: set of dirty line offsets awaiting implicit
+  // eviction, evicted in random order once capacity is reached.
+  std::mutex eadr_mu_;
+  std::vector<uintptr_t> eadr_cache_;
+  Rng eadr_rng_{0xeadcac4eULL};
+};
+
+// Free-function helpers used by index code; they resolve the calling
+// thread's context. Index implementations call these instead of threading a
+// context parameter through every layer.
+void FlushLine(const void* addr);
+void Fence();
+void Persist(const void* addr, size_t len);
+void ReadPm(const void* addr, size_t len);
+void AdvanceCpu(uint64_t ns);
+
+}  // namespace cclbt::pmsim
+
+#endif  // SRC_PMSIM_DEVICE_H_

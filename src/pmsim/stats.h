@@ -1,0 +1,128 @@
+// Hardware-counter equivalents of what the paper reads through ipmctl:
+// bytes written to the XPBuffer (CLI numerator), bytes physically written to
+// / read from the 3D-XPoint media (XBI numerator), plus NUMA traffic splits.
+#ifndef SRC_PMSIM_STATS_H_
+#define SRC_PMSIM_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/pmsim/config.h"
+
+namespace cclbt::pmsim {
+
+struct StatsSnapshot {
+  uint64_t user_bytes = 0;
+  uint64_t line_flushes = 0;
+  uint64_t fences = 0;
+  uint64_t xpbuffer_write_bytes = 0;
+  uint64_t media_write_bytes = 0;
+  uint64_t media_read_bytes = 0;
+  uint64_t media_writes_by_tag[static_cast<int>(StreamTag::kCount)] = {0, 0, 0};
+  uint64_t remote_accesses = 0;
+  uint64_t pm_reads = 0;
+  uint64_t pm_read_hits = 0;
+
+  // CLI-amplification: XPBuffer bytes per user byte (paper §2.1).
+  double CliAmplification() const {
+    return user_bytes == 0 ? 0.0
+                           : static_cast<double>(xpbuffer_write_bytes) /
+                                 static_cast<double>(user_bytes);
+  }
+  // XBI-amplification: media bytes per user byte (paper §2.1).
+  double XbiAmplification() const {
+    return user_bytes == 0
+               ? 0.0
+               : static_cast<double>(media_write_bytes) / static_cast<double>(user_bytes);
+  }
+
+  StatsSnapshot Delta(const StatsSnapshot& earlier) const {
+    StatsSnapshot d;
+    d.user_bytes = user_bytes - earlier.user_bytes;
+    d.line_flushes = line_flushes - earlier.line_flushes;
+    d.fences = fences - earlier.fences;
+    d.xpbuffer_write_bytes = xpbuffer_write_bytes - earlier.xpbuffer_write_bytes;
+    d.media_write_bytes = media_write_bytes - earlier.media_write_bytes;
+    d.media_read_bytes = media_read_bytes - earlier.media_read_bytes;
+    for (int i = 0; i < static_cast<int>(StreamTag::kCount); i++) {
+      d.media_writes_by_tag[i] = media_writes_by_tag[i] - earlier.media_writes_by_tag[i];
+    }
+    d.remote_accesses = remote_accesses - earlier.remote_accesses;
+    d.pm_reads = pm_reads - earlier.pm_reads;
+    d.pm_read_hits = pm_read_hits - earlier.pm_read_hits;
+    return d;
+  }
+};
+
+class Stats {
+ public:
+  void AddUserBytes(uint64_t n) { user_bytes_.fetch_add(n, std::memory_order_relaxed); }
+  void AddLineFlush() {
+    line_flushes_.fetch_add(1, std::memory_order_relaxed);
+    xpbuffer_write_bytes_.fetch_add(kCachelineBytes, std::memory_order_relaxed);
+  }
+  void AddFence() { fences_.fetch_add(1, std::memory_order_relaxed); }
+  void AddMediaWrite(StreamTag tag, uint64_t bytes = kXplineBytes) {
+    media_write_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    media_writes_by_tag_[static_cast<int>(tag)].fetch_add(1, std::memory_order_relaxed);
+  }
+  void AddMediaRead(uint64_t bytes = kXplineBytes) {
+    media_read_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void AddRemoteAccess() { remote_accesses_.fetch_add(1, std::memory_order_relaxed); }
+  void AddPmRead(bool hit) {
+    pm_reads_.fetch_add(1, std::memory_order_relaxed);
+    if (hit) {
+      pm_read_hits_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  StatsSnapshot Snapshot() const {
+    StatsSnapshot s;
+    s.user_bytes = user_bytes_.load(std::memory_order_relaxed);
+    s.line_flushes = line_flushes_.load(std::memory_order_relaxed);
+    s.fences = fences_.load(std::memory_order_relaxed);
+    s.xpbuffer_write_bytes = xpbuffer_write_bytes_.load(std::memory_order_relaxed);
+    s.media_write_bytes = media_write_bytes_.load(std::memory_order_relaxed);
+    s.media_read_bytes = media_read_bytes_.load(std::memory_order_relaxed);
+    for (int i = 0; i < static_cast<int>(StreamTag::kCount); i++) {
+      // Tag counts are in units of XPLines (multiply by kXplineBytes for bytes).
+      s.media_writes_by_tag[i] = media_writes_by_tag_[i].load(std::memory_order_relaxed);
+    }
+    s.remote_accesses = remote_accesses_.load(std::memory_order_relaxed);
+    s.pm_reads = pm_reads_.load(std::memory_order_relaxed);
+    s.pm_read_hits = pm_read_hits_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  void Reset() {
+    user_bytes_ = 0;
+    line_flushes_ = 0;
+    fences_ = 0;
+    xpbuffer_write_bytes_ = 0;
+    media_write_bytes_ = 0;
+    media_read_bytes_ = 0;
+    for (auto& tag_count : media_writes_by_tag_) {
+      tag_count = 0;
+    }
+    remote_accesses_ = 0;
+    pm_reads_ = 0;
+    pm_read_hits_ = 0;
+  }
+
+ private:
+  std::atomic<uint64_t> user_bytes_{0};
+  std::atomic<uint64_t> line_flushes_{0};
+  std::atomic<uint64_t> fences_{0};
+  std::atomic<uint64_t> xpbuffer_write_bytes_{0};
+  std::atomic<uint64_t> media_write_bytes_{0};
+  std::atomic<uint64_t> media_read_bytes_{0};
+  std::atomic<uint64_t> media_writes_by_tag_[static_cast<int>(StreamTag::kCount)] = {};
+  std::atomic<uint64_t> remote_accesses_{0};
+  std::atomic<uint64_t> pm_reads_{0};
+  std::atomic<uint64_t> pm_read_hits_{0};
+};
+
+}  // namespace cclbt::pmsim
+
+#endif  // SRC_PMSIM_STATS_H_

@@ -1,0 +1,72 @@
+// Per-thread state for the PM simulator: the thread's virtual clock, its
+// NUMA socket, and the set of cachelines flushed (clwb'd) but not yet fenced.
+//
+// Virtual time: every worker advances a private nanosecond clock as it
+// performs modeled work (CPU costs, PM read latencies, WPQ back-pressure).
+// A run's modeled elapsed time is the max over workers, which is what the
+// benches report throughput against. This keeps the performance results
+// deterministic and independent of the host machine's core count, while
+// locks and atomics still execute under real concurrency.
+#ifndef SRC_PMSIM_THREAD_CONTEXT_H_
+#define SRC_PMSIM_THREAD_CONTEXT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace cclbt::pmsim {
+
+class PmDevice;
+
+class ThreadContext {
+ public:
+  // Binds the calling thread to `device` on `socket`. Installs itself as the
+  // thread-local current context (restoring the previous one on destruction,
+  // so scoped nesting works in tests). `worker_id` identifies the worker for
+  // per-thread structures (e.g. CCL-BTree's per-thread WAL); it must be
+  // unique among concurrently live contexts of one tree.
+  ThreadContext(PmDevice& device, int socket, int worker_id = 0);
+  ~ThreadContext();
+
+  ThreadContext(const ThreadContext&) = delete;
+  ThreadContext& operator=(const ThreadContext&) = delete;
+
+  // The context installed by the innermost live ThreadContext on this thread;
+  // nullptr if none.
+  static ThreadContext* Current();
+
+  // Explicitly installs `ctx` (possibly nullptr) as this thread's current
+  // context. Used by the bench driver to interleave many logical workers on
+  // one OS thread; the destructor of a manually-switched context leaves the
+  // slot untouched unless it is still the current one.
+  static void SetCurrent(ThreadContext* ctx);
+
+  PmDevice& device() const { return device_; }
+  int socket() const { return socket_; }
+  int worker_id() const { return worker_id_; }
+
+  // The clock is atomic (relaxed) because PmDevice::ResetCosts() zeroes the
+  // clocks of all registered contexts — including long-lived background
+  // threads like CCL-BTree's GC worker — so that every active virtual clock
+  // stays comparable with the per-DIMM busy timeline across bench phases.
+  uint64_t now_ns() const { return now_ns_.load(std::memory_order_relaxed); }
+  void AdvanceCpu(uint64_t ns) {
+    now_ns_.store(now_ns_.load(std::memory_order_relaxed) + ns, std::memory_order_relaxed);
+  }
+  void ResetClock(uint64_t to_ns = 0) { now_ns_.store(to_ns, std::memory_order_relaxed); }
+
+ private:
+  friend class PmDevice;
+
+  PmDevice& device_;
+  int socket_;
+  int worker_id_;
+  std::atomic<uint64_t> now_ns_{0};
+  // Pool offsets (line-aligned) flushed since the last fence.
+  std::vector<uintptr_t> pending_lines_;
+  ThreadContext* previous_ = nullptr;
+};
+
+}  // namespace cclbt::pmsim
+
+#endif  // SRC_PMSIM_THREAD_CONTEXT_H_

@@ -1,0 +1,40 @@
+#include "src/pmsim/xpbuffer.h"
+
+namespace cclbt::pmsim {
+
+XpBufferResult XpBuffer::OnLineFlush(uint64_t xpline, int line_in_xpline, StreamTag tag) {
+  std::lock_guard<std::mutex> guard(mu_);
+  XpBufferResult result;
+  auto it = map_.find(xpline);
+  if (it != map_.end()) {
+    // Write-combining hit: merge into the resident XPLine.
+    it->second.dirty_mask |= 1ULL << line_in_xpline;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return result;
+  }
+  if (map_.size() >= capacity_) {
+    // Evict LRU: one media write; RMW read first if partially dirty.
+    uint64_t victim = lru_.back();
+    lru_.pop_back();
+    auto victim_it = map_.find(victim);
+    result.evicted = true;
+    result.rmw = victim_it->second.dirty_mask != full_mask_;
+    result.evicted_tag = victim_it->second.tag;
+    map_.erase(victim_it);
+  }
+  lru_.push_front(xpline);
+  map_.emplace(xpline, Entry{lru_.begin(), 1ULL << line_in_xpline, tag});
+  return result;
+}
+
+bool XpBuffer::OnRead(uint64_t xpline) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = map_.find(xpline);
+  if (it == map_.end()) {
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  return true;
+}
+
+}  // namespace cclbt::pmsim

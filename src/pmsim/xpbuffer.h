@@ -1,0 +1,81 @@
+// Model of one DIMM's on-chip write-combining buffer (the XPBuffer).
+//
+// Behaviour modeled (per Yang et al. FAST'20 and the paper's §2.1):
+//  * 16 KB of 256 B XPLine entries, fully associative, LRU replacement.
+//  * A cacheline flush whose XPLine is resident merges into the entry (no
+//    media traffic).
+//  * A miss on a full buffer evicts the LRU entry: one 256 B media write,
+//    plus a 256 B media read first if the evicted XPLine was only partially
+//    overwritten (read-modify-write).
+//  * Reads are served from the buffer when the XPLine is resident.
+#ifndef SRC_PMSIM_XPBUFFER_H_
+#define SRC_PMSIM_XPBUFFER_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+
+#include "src/pmsim/config.h"
+
+namespace cclbt::pmsim {
+
+// Result of pushing one cacheline into the buffer.
+struct XpBufferResult {
+  bool evicted = false;        // an XPLine was written to media
+  bool rmw = false;            // ... and required a read-modify-write
+  StreamTag evicted_tag = StreamTag::kOther;
+};
+
+class XpBuffer {
+ public:
+  // `lines_per_unit` = media unit bytes / 64 (4 for a 256 B XPLine, up to 64
+  // for a 4 KB flash page on CXL-flash-like devices, paper §6).
+  explicit XpBuffer(size_t entries, int lines_per_unit = static_cast<int>(kLinesPerXpline))
+      : capacity_(entries),
+        full_mask_(lines_per_unit >= 64 ? ~0ULL : (1ULL << lines_per_unit) - 1) {}
+
+  XpBuffer(const XpBuffer&) = delete;
+  XpBuffer& operator=(const XpBuffer&) = delete;
+
+  // A cacheline flush for XPLine `xpline` arrived; `line_in_xpline` in [0,4).
+  // `tag` classifies the flushing stream for attribution at eviction time.
+  XpBufferResult OnLineFlush(uint64_t xpline, int line_in_xpline, StreamTag tag);
+
+  // A PM read touching `xpline`. Returns true if served from the buffer.
+  bool OnRead(uint64_t xpline);
+
+  // Evict everything (e.g. end-of-run accounting). Calls `sink(rmw, tag)` per
+  // evicted XPLine.
+  template <typename Sink>
+  void Drain(Sink&& sink) {
+    std::lock_guard<std::mutex> guard(mu_);
+    for (auto& [xpline, entry] : map_) {
+      sink(entry.dirty_mask != full_mask_, entry.tag);
+    }
+    map_.clear();
+    lru_.clear();
+  }
+
+  size_t resident() const {
+    std::lock_guard<std::mutex> guard(mu_);
+    return map_.size();
+  }
+
+ private:
+  struct Entry {
+    std::list<uint64_t>::iterator lru_it;
+    uint64_t dirty_mask = 0;
+    StreamTag tag = StreamTag::kOther;
+  };
+
+  size_t capacity_;
+  uint64_t full_mask_;
+  mutable std::mutex mu_;
+  std::list<uint64_t> lru_;  // front == most recent
+  std::unordered_map<uint64_t, Entry> map_;
+};
+
+}  // namespace cclbt::pmsim
+
+#endif  // SRC_PMSIM_XPBUFFER_H_

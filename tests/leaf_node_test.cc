@@ -1,0 +1,119 @@
+// Unit tests for the persistent leaf-node layout: meta-word packing, slot
+// search with fingerprints, free-slot/min-key helpers, fence-entry
+// semantics.
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "src/core/leaf_node.h"
+
+namespace cclbt::core {
+namespace {
+
+TEST(LeafMeta, PackAndUnpackRoundTrip) {
+  for (uint64_t bitmap : {0ULL, 1ULL, 0x3FFFULL, 0x2AAAULL}) {
+    for (uint64_t next : {0ULL, 256ULL, 1ULL << 20, (1ULL << 40) - 256}) {
+      uint64_t meta = MakeMeta(bitmap, next);
+      EXPECT_EQ(MetaBitmap(meta), bitmap);
+      EXPECT_EQ(MetaNextOffset(meta), next);
+    }
+  }
+}
+
+TEST(LeafMeta, BitmapAndNextAreIndependent) {
+  uint64_t meta = MakeMeta(0x1234, 4096);
+  EXPECT_EQ(MetaBitmap(MakeMeta(MetaBitmap(meta), 0)), 0x1234u & kBitmapMask);
+  EXPECT_EQ(MetaNextOffset(MakeMeta(0, MetaNextOffset(meta))), 4096u);
+}
+
+struct LeafFixture : public ::testing::Test {
+  void SetUp() override {
+    std::memset(static_cast<void*>(&leaf), 0, sizeof(leaf));
+  }
+
+  void Fill(int slot, uint64_t key, uint64_t value) {
+    leaf.kvs[slot] = {key, value};
+    leaf.fingerprints[slot] = Fingerprint8(key);
+    uint64_t meta = leaf.meta.load();
+    leaf.meta.store(MakeMeta(MetaBitmap(meta) | (1ULL << slot), MetaNextOffset(meta)));
+  }
+
+  PmLeaf leaf;
+};
+
+TEST_F(LeafFixture, FindSlotLocatesKeys) {
+  Fill(3, 100, 1);
+  Fill(7, 200, 2);
+  EXPECT_EQ(leaf.FindSlot(100), 3);
+  EXPECT_EQ(leaf.FindSlot(200), 7);
+  EXPECT_EQ(leaf.FindSlot(300), -1);
+}
+
+TEST_F(LeafFixture, FindSlotIgnoresInvalidSlots) {
+  leaf.kvs[5] = {42, 1};
+  leaf.fingerprints[5] = Fingerprint8(42);
+  // Bit 5 not set: the slot content must be invisible.
+  EXPECT_EQ(leaf.FindSlot(42), -1);
+}
+
+TEST_F(LeafFixture, FingerprintCollisionStillChecksKey) {
+  // Find two keys with colliding fingerprints.
+  uint64_t a = 1;
+  uint64_t b = 2;
+  while (Fingerprint8(a) != Fingerprint8(b)) {
+    b++;
+  }
+  Fill(0, a, 10);
+  EXPECT_EQ(leaf.FindSlot(b), -1);  // same fingerprint, different key
+  EXPECT_EQ(leaf.FindSlot(a), 0);
+}
+
+TEST_F(LeafFixture, FreeSlotFindsFirstGap) {
+  EXPECT_EQ(leaf.FreeSlot(), 0);
+  Fill(0, 1, 1);
+  Fill(1, 2, 2);
+  EXPECT_EQ(leaf.FreeSlot(), 2);
+  for (int slot = 2; slot < kLeafSlots; slot++) {
+    Fill(slot, static_cast<uint64_t>(slot) + 10, 1);
+  }
+  EXPECT_EQ(leaf.FreeSlot(), -1);  // full
+}
+
+TEST_F(LeafFixture, MinKeyScansValidSlots) {
+  bool found = true;
+  leaf.MinKey(&found);
+  EXPECT_FALSE(found);
+  Fill(4, 50, 1);
+  Fill(9, 20, 1);
+  Fill(12, 90, 1);
+  uint64_t min = leaf.MinKey(&found);
+  EXPECT_TRUE(found);
+  EXPECT_EQ(min, 20u);
+}
+
+TEST_F(LeafFixture, LiveCountExcludesFences) {
+  Fill(0, 10, 1);
+  Fill(1, 20, 0);  // fence entry (tombstoned boundary key)
+  Fill(2, 30, 3);
+  EXPECT_EQ(leaf.ValidCount(), 3);
+  EXPECT_EQ(leaf.LiveCount(), 2);
+}
+
+TEST_F(LeafFixture, MinKeyIncludesFences) {
+  // Fences must keep anchoring the leaf's low bound for recovery routing.
+  Fill(0, 10, 0);  // fence at the minimum
+  Fill(1, 20, 2);
+  bool found = false;
+  EXPECT_EQ(leaf.MinKey(&found), 10u);
+  EXPECT_TRUE(found);
+}
+
+TEST(LeafLayout, ExactlyOneXpline) {
+  static_assert(sizeof(PmLeaf) == 256);
+  static_assert(kLeafSlots == 14);
+  // Header = meta(8) + ts(8) + fingerprints(14) + pad(2) = 32 bytes.
+  EXPECT_EQ(offsetof(PmLeaf, kvs), 32u);
+}
+
+}  // namespace
+}  // namespace cclbt::core

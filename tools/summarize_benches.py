@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Summarize bench_output.txt into per-experiment tables.
+
+Usage: tools/summarize_benches.py [bench_output.txt]
+
+Parses google-benchmark console rows of the form
+    fig10/insert/cclbtree/threads:48/iterations:1  ... Mops=6.97 XBI=8.99 ...
+and prints one aligned table per experiment prefix (fig02, fig03, ...,
+tab1-3, extra_*), with the counters as columns. The fig14 GC timeline is
+passed through verbatim.
+"""
+import re
+import sys
+from collections import defaultdict
+
+ROW = re.compile(r"^(?P<name>(fig|tab|extra)\w*/\S+?)/iterations:1\s+(?P<rest>.*)$")
+COUNTER = re.compile(r"(\w+)=([-\d.keM]+)")
+
+
+def parse_value(text: str) -> float:
+    mult = 1.0
+    if text.endswith("k"):
+        mult, text = 1e3, text[:-1]
+    elif text.endswith("M"):
+        mult, text = 1e6, text[:-1]
+    try:
+        return float(text) * mult
+    except ValueError:
+        return float("nan")
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
+    experiments = defaultdict(list)  # prefix -> [(config, {counter: value})]
+    gc_timeline = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.rstrip()
+            if line.startswith(("w/o-GC", "locality-GC", "naive-GC")):
+                gc_timeline.append(line)
+                continue
+            match = ROW.match(line.strip())
+            if not match:
+                continue
+            name = match.group("name")
+            prefix = name.split("/", 1)[0]
+            config = name.split("/", 1)[1]
+            counters = {key: parse_value(value)
+                        for key, value in COUNTER.findall(match.group("rest"))}
+            experiments[prefix].append((config, counters))
+
+    for prefix in sorted(experiments):
+        rows = experiments[prefix]
+        columns = sorted({key for _, counters in rows for key in counters})
+        print(f"\n=== {prefix} ===")
+        header = f"{'config':<42}" + "".join(f"{col:>14}" for col in columns)
+        print(header)
+        for config, counters in rows:
+            cells = "".join(
+                f"{counters.get(col, float('nan')):>14.3f}" for col in columns)
+            print(f"{config:<42}{cells}")
+
+    if gc_timeline:
+        print("\n=== fig14 GC timeline (verbatim) ===")
+        for line in gc_timeline:
+            print(line)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
