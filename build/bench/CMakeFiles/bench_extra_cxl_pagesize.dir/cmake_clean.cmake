@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extra_cxl_pagesize.dir/bench_extra_cxl_pagesize.cc.o"
+  "CMakeFiles/bench_extra_cxl_pagesize.dir/bench_extra_cxl_pagesize.cc.o.d"
+  "bench_extra_cxl_pagesize"
+  "bench_extra_cxl_pagesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extra_cxl_pagesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

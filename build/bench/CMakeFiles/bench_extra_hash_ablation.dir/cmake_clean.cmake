@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extra_hash_ablation.dir/bench_extra_hash_ablation.cc.o"
+  "CMakeFiles/bench_extra_hash_ablation.dir/bench_extra_hash_ablation.cc.o.d"
+  "bench_extra_hash_ablation"
+  "bench_extra_hash_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extra_hash_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extra_xpbuffer_size.dir/bench_extra_xpbuffer_size.cc.o"
+  "CMakeFiles/bench_extra_xpbuffer_size.dir/bench_extra_xpbuffer_size.cc.o.d"
+  "bench_extra_xpbuffer_size"
+  "bench_extra_xpbuffer_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extra_xpbuffer_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_cli_vs_xbi.dir/bench_fig02_cli_vs_xbi.cc.o"
+  "CMakeFiles/bench_fig02_cli_vs_xbi.dir/bench_fig02_cli_vs_xbi.cc.o.d"
+  "bench_fig02_cli_vs_xbi"
+  "bench_fig02_cli_vs_xbi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_cli_vs_xbi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

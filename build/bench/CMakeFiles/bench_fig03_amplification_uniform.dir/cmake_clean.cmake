@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_amplification_uniform.dir/bench_fig03_amplification_uniform.cc.o"
+  "CMakeFiles/bench_fig03_amplification_uniform.dir/bench_fig03_amplification_uniform.cc.o.d"
+  "bench_fig03_amplification_uniform"
+  "bench_fig03_amplification_uniform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_amplification_uniform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_amplification_zipfian.dir/bench_fig04_amplification_zipfian.cc.o"
+  "CMakeFiles/bench_fig04_amplification_zipfian.dir/bench_fig04_amplification_zipfian.cc.o.d"
+  "bench_fig04_amplification_zipfian"
+  "bench_fig04_amplification_zipfian.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_amplification_zipfian.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

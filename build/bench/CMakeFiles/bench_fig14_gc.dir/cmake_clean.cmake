@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_gc.dir/bench_fig14_gc.cc.o"
+  "CMakeFiles/bench_fig14_gc.dir/bench_fig14_gc.cc.o.d"
+  "bench_fig14_gc"
+  "bench_fig14_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

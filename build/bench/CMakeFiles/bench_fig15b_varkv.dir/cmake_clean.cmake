@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15b_varkv.dir/bench_fig15b_varkv.cc.o"
+  "CMakeFiles/bench_fig15b_varkv.dir/bench_fig15b_varkv.cc.o.d"
+  "bench_fig15b_varkv"
+  "bench_fig15b_varkv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15b_varkv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

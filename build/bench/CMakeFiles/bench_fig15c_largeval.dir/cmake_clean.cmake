@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15c_largeval.dir/bench_fig15c_largeval.cc.o"
+  "CMakeFiles/bench_fig15c_largeval.dir/bench_fig15c_largeval.cc.o.d"
+  "bench_fig15c_largeval"
+  "bench_fig15c_largeval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15c_largeval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

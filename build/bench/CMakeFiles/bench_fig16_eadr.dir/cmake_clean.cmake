@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_eadr.dir/bench_fig16_eadr.cc.o"
+  "CMakeFiles/bench_fig16_eadr.dir/bench_fig16_eadr.cc.o.d"
+  "bench_fig16_eadr"
+  "bench_fig16_eadr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_eadr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

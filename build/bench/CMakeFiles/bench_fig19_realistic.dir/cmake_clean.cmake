@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_realistic.dir/bench_fig19_realistic.cc.o"
+  "CMakeFiles/bench_fig19_realistic.dir/bench_fig19_realistic.cc.o.d"
+  "bench_fig19_realistic"
+  "bench_fig19_realistic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_realistic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab1_nbatch.dir/bench_tab1_nbatch.cc.o"
+  "CMakeFiles/bench_tab1_nbatch.dir/bench_tab1_nbatch.cc.o.d"
+  "bench_tab1_nbatch"
+  "bench_tab1_nbatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab1_nbatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab2_thlog.dir/bench_tab2_thlog.cc.o"
+  "CMakeFiles/bench_tab2_thlog.dir/bench_tab2_thlog.cc.o.d"
+  "bench_tab2_thlog"
+  "bench_tab2_thlog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab2_thlog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

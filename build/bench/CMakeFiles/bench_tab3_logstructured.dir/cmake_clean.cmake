@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab3_logstructured.dir/bench_tab3_logstructured.cc.o"
+  "CMakeFiles/bench_tab3_logstructured.dir/bench_tab3_logstructured.cc.o.d"
+  "bench_tab3_logstructured"
+  "bench_tab3_logstructured.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab3_logstructured.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

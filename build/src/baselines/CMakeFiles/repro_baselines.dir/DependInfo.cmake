@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/dptree.cc" "src/baselines/CMakeFiles/repro_baselines.dir/dptree.cc.o" "gcc" "src/baselines/CMakeFiles/repro_baselines.dir/dptree.cc.o.d"
+  "/root/repo/src/baselines/fastfair.cc" "src/baselines/CMakeFiles/repro_baselines.dir/fastfair.cc.o" "gcc" "src/baselines/CMakeFiles/repro_baselines.dir/fastfair.cc.o.d"
+  "/root/repo/src/baselines/flatstore.cc" "src/baselines/CMakeFiles/repro_baselines.dir/flatstore.cc.o" "gcc" "src/baselines/CMakeFiles/repro_baselines.dir/flatstore.cc.o.d"
+  "/root/repo/src/baselines/leaf_tree.cc" "src/baselines/CMakeFiles/repro_baselines.dir/leaf_tree.cc.o" "gcc" "src/baselines/CMakeFiles/repro_baselines.dir/leaf_tree.cc.o.d"
+  "/root/repo/src/baselines/lsmstore.cc" "src/baselines/CMakeFiles/repro_baselines.dir/lsmstore.cc.o" "gcc" "src/baselines/CMakeFiles/repro_baselines.dir/lsmstore.cc.o.d"
+  "/root/repo/src/baselines/utree.cc" "src/baselines/CMakeFiles/repro_baselines.dir/utree.cc.o" "gcc" "src/baselines/CMakeFiles/repro_baselines.dir/utree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/repro_cclbtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/repro_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmsim/CMakeFiles/repro_pmsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/repro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

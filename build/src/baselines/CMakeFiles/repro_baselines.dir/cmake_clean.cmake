@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_baselines.dir/dptree.cc.o"
+  "CMakeFiles/repro_baselines.dir/dptree.cc.o.d"
+  "CMakeFiles/repro_baselines.dir/fastfair.cc.o"
+  "CMakeFiles/repro_baselines.dir/fastfair.cc.o.d"
+  "CMakeFiles/repro_baselines.dir/flatstore.cc.o"
+  "CMakeFiles/repro_baselines.dir/flatstore.cc.o.d"
+  "CMakeFiles/repro_baselines.dir/leaf_tree.cc.o"
+  "CMakeFiles/repro_baselines.dir/leaf_tree.cc.o.d"
+  "CMakeFiles/repro_baselines.dir/lsmstore.cc.o"
+  "CMakeFiles/repro_baselines.dir/lsmstore.cc.o.d"
+  "CMakeFiles/repro_baselines.dir/utree.cc.o"
+  "CMakeFiles/repro_baselines.dir/utree.cc.o.d"
+  "librepro_baselines.a"
+  "librepro_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_benchlib.dir/driver.cc.o"
+  "CMakeFiles/repro_benchlib.dir/driver.cc.o.d"
+  "CMakeFiles/repro_benchlib.dir/index_factory.cc.o"
+  "CMakeFiles/repro_benchlib.dir/index_factory.cc.o.d"
+  "librepro_benchlib.a"
+  "librepro_benchlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_benchlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

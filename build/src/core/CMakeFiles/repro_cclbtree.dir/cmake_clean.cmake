@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_cclbtree.dir/ccl_btree.cc.o"
+  "CMakeFiles/repro_cclbtree.dir/ccl_btree.cc.o.d"
+  "CMakeFiles/repro_cclbtree.dir/ccl_hash.cc.o"
+  "CMakeFiles/repro_cclbtree.dir/ccl_hash.cc.o.d"
+  "CMakeFiles/repro_cclbtree.dir/wal.cc.o"
+  "CMakeFiles/repro_cclbtree.dir/wal.cc.o.d"
+  "librepro_cclbtree.a"
+  "librepro_cclbtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_cclbtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

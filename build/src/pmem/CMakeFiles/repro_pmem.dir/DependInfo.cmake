@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pmem/log_arena.cc" "src/pmem/CMakeFiles/repro_pmem.dir/log_arena.cc.o" "gcc" "src/pmem/CMakeFiles/repro_pmem.dir/log_arena.cc.o.d"
+  "/root/repo/src/pmem/pool.cc" "src/pmem/CMakeFiles/repro_pmem.dir/pool.cc.o" "gcc" "src/pmem/CMakeFiles/repro_pmem.dir/pool.cc.o.d"
+  "/root/repo/src/pmem/slab_allocator.cc" "src/pmem/CMakeFiles/repro_pmem.dir/slab_allocator.cc.o" "gcc" "src/pmem/CMakeFiles/repro_pmem.dir/slab_allocator.cc.o.d"
+  "/root/repo/src/pmem/value_store.cc" "src/pmem/CMakeFiles/repro_pmem.dir/value_store.cc.o" "gcc" "src/pmem/CMakeFiles/repro_pmem.dir/value_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pmsim/CMakeFiles/repro_pmsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/repro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

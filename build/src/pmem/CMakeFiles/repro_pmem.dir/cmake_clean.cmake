@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_pmem.dir/log_arena.cc.o"
+  "CMakeFiles/repro_pmem.dir/log_arena.cc.o.d"
+  "CMakeFiles/repro_pmem.dir/pool.cc.o"
+  "CMakeFiles/repro_pmem.dir/pool.cc.o.d"
+  "CMakeFiles/repro_pmem.dir/slab_allocator.cc.o"
+  "CMakeFiles/repro_pmem.dir/slab_allocator.cc.o.d"
+  "CMakeFiles/repro_pmem.dir/value_store.cc.o"
+  "CMakeFiles/repro_pmem.dir/value_store.cc.o.d"
+  "librepro_pmem.a"
+  "librepro_pmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_pmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_pmsim.dir/device.cc.o"
+  "CMakeFiles/repro_pmsim.dir/device.cc.o.d"
+  "CMakeFiles/repro_pmsim.dir/xpbuffer.cc.o"
+  "CMakeFiles/repro_pmsim.dir/xpbuffer.cc.o.d"
+  "librepro_pmsim.a"
+  "librepro_pmsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_pmsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

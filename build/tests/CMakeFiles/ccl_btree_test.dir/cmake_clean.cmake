@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccl_btree_test.dir/ccl_btree_test.cc.o"
+  "CMakeFiles/ccl_btree_test.dir/ccl_btree_test.cc.o.d"
+  "ccl_btree_test"
+  "ccl_btree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccl_btree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccl_fuzz_test.dir/ccl_fuzz_test.cc.o"
+  "CMakeFiles/ccl_fuzz_test.dir/ccl_fuzz_test.cc.o.d"
+  "ccl_fuzz_test"
+  "ccl_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccl_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

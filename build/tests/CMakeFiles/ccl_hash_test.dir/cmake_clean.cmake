@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccl_hash_test.dir/ccl_hash_test.cc.o"
+  "CMakeFiles/ccl_hash_test.dir/ccl_hash_test.cc.o.d"
+  "ccl_hash_test"
+  "ccl_hash_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccl_hash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

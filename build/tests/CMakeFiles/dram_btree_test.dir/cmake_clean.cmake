@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dram_btree_test.dir/dram_btree_test.cc.o"
+  "CMakeFiles/dram_btree_test.dir/dram_btree_test.cc.o.d"
+  "dram_btree_test"
+  "dram_btree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dram_btree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

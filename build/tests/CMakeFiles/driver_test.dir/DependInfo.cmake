@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/driver_test.cc" "tests/CMakeFiles/driver_test.dir/driver_test.cc.o" "gcc" "tests/CMakeFiles/driver_test.dir/driver_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bench/CMakeFiles/repro_benchlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/repro_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/repro_cclbtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/repro_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmsim/CMakeFiles/repro_pmsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/repro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

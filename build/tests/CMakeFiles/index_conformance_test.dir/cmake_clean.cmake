@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_conformance_test.dir/index_conformance_test.cc.o"
+  "CMakeFiles/index_conformance_test.dir/index_conformance_test.cc.o.d"
+  "index_conformance_test"
+  "index_conformance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_conformance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

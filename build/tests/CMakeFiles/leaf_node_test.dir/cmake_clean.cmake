@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leaf_node_test.dir/leaf_node_test.cc.o"
+  "CMakeFiles/leaf_node_test.dir/leaf_node_test.cc.o.d"
+  "leaf_node_test"
+  "leaf_node_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leaf_node_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

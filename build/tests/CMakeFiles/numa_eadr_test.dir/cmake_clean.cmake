@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numa_eadr_test.dir/numa_eadr_test.cc.o"
+  "CMakeFiles/numa_eadr_test.dir/numa_eadr_test.cc.o.d"
+  "numa_eadr_test"
+  "numa_eadr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numa_eadr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

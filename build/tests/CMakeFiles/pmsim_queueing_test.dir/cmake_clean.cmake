@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmsim_queueing_test.dir/pmsim_queueing_test.cc.o"
+  "CMakeFiles/pmsim_queueing_test.dir/pmsim_queueing_test.cc.o.d"
+  "pmsim_queueing_test"
+  "pmsim_queueing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmsim_queueing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

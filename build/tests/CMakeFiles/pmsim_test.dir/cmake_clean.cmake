@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmsim_test.dir/pmsim_test.cc.o"
+  "CMakeFiles/pmsim_test.dir/pmsim_test.cc.o.d"
+  "pmsim_test"
+  "pmsim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(common_test "/root/repo/build/tests/common_test")
+set_tests_properties(common_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;7;repro_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(pmsim_test "/root/repo/build/tests/pmsim_test")
+set_tests_properties(pmsim_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;8;repro_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(pmem_test "/root/repo/build/tests/pmem_test")
+set_tests_properties(pmem_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;9;repro_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(dram_btree_test "/root/repo/build/tests/dram_btree_test")
+set_tests_properties(dram_btree_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;10;repro_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(ccl_btree_test "/root/repo/build/tests/ccl_btree_test")
+set_tests_properties(ccl_btree_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;11;repro_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(index_conformance_test "/root/repo/build/tests/index_conformance_test")
+set_tests_properties(index_conformance_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;12;repro_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(wal_test "/root/repo/build/tests/wal_test")
+set_tests_properties(wal_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;13;repro_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(leaf_node_test "/root/repo/build/tests/leaf_node_test")
+set_tests_properties(leaf_node_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;14;repro_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(driver_test "/root/repo/build/tests/driver_test")
+set_tests_properties(driver_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;15;repro_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(scan_property_test "/root/repo/build/tests/scan_property_test")
+set_tests_properties(scan_property_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;16;repro_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(ccl_fuzz_test "/root/repo/build/tests/ccl_fuzz_test")
+set_tests_properties(ccl_fuzz_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;17;repro_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(numa_eadr_test "/root/repo/build/tests/numa_eadr_test")
+set_tests_properties(numa_eadr_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;18;repro_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(ccl_hash_test "/root/repo/build/tests/ccl_hash_test")
+set_tests_properties(ccl_hash_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;19;repro_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(pmsim_queueing_test "/root/repo/build/tests/pmsim_queueing_test")
+set_tests_properties(pmsim_queueing_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;20;repro_test;/root/repo/tests/CMakeLists.txt;0;")
