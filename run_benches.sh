@@ -1,10 +1,17 @@
 #!/bin/bash
-# Runs every benchmark binary and appends to bench_output.txt.
+# Runs every benchmark binary and appends to bench_output.txt. The pmsim
+# hot-path microbench additionally writes its machine-readable results to
+# BENCH_pmsim.json (host wall-clock metrics — everything else here reports
+# virtual-time metrics).
 cd "$(dirname "$0")"
 : > bench_output.txt
 for b in build/bench/bench_*; do
   echo "=== $(basename "$b") ===" >> bench_output.txt
-  "$b" >> bench_output.txt 2>/dev/null
+  if [ "$(basename "$b")" = "bench_pmsim_hotpath" ]; then
+    "$b" BENCH_pmsim.json >> bench_output.txt 2>/dev/null
+  else
+    "$b" >> bench_output.txt 2>/dev/null
+  fi
   echo "" >> bench_output.txt
 done
 echo "ALL_BENCHES_DONE" >> bench_output.txt

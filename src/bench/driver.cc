@@ -206,7 +206,7 @@ RunResult RunWorkload(kvindex::Runtime& runtime, kvindex::KvIndex& index,
         } else {
           key = Mix64(config.warm_keys + i) | 1;
         }
-        runtime.device().stats().AddUserBytes(write_bytes);
+        ctx->stats_shard().AddUserBytes(write_bytes);
         index.Upsert(key, MakeValue(runtime, config, i + 1));
         break;
       }
@@ -214,13 +214,13 @@ RunResult RunWorkload(kvindex::Runtime& runtime, kvindex::KvIndex& index,
         uint64_t key = config.dist == KeyDistribution::kZipfian
                            ? Mix64(st.zipf.NextRank() % config.warm_keys) | 1
                            : WarmKey(config, st.rng.NextBounded(config.warm_keys));
-        runtime.device().stats().AddUserBytes(write_bytes);
+        ctx->stats_shard().AddUserBytes(write_bytes);
         index.Upsert(key, MakeValue(runtime, config, i + 7));
         break;
       }
       case OpType::kDelete: {
         uint64_t key = WarmKey(config, st.rng.NextBounded(config.warm_keys));
-        runtime.device().stats().AddUserBytes(write_bytes);
+        ctx->stats_shard().AddUserBytes(write_bytes);
         index.Remove(key);
         break;
       }

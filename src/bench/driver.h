@@ -48,10 +48,15 @@ struct RunConfig {
   // Preset key set (e.g. SOSD datasets); overrides dist for inserts.
   const std::vector<uint64_t>* preset_keys = nullptr;
   uint64_t seed = 99;
-  // Execute the logical workers on real OS threads. Virtual-time results are
-  // identical either way; sequential execution (the default) avoids
-  // oversubscription livelock on small hosts. Concurrency correctness is
-  // covered by the test suite, which always uses real threads.
+  // Execute the logical workers on real OS threads. Sequential execution
+  // (the default) is fully deterministic: the same RunConfig yields
+  // bit-identical virtual-time metrics run after run (provided the index
+  // spawns no background threads, e.g. TreeOptions::background_gc = false).
+  // With one worker, os_parallel on/off is also bit-identical. With several
+  // workers, os_parallel results differ slightly run-to-run: real-thread
+  // interleaving changes lock-acquisition order and XPBuffer LRU state, so
+  // eviction counts and queueing delays shift within noise. Concurrency
+  // correctness is covered by the test suite, which always uses real threads.
   bool os_parallel = false;
 };
 

@@ -12,11 +12,24 @@ namespace {
 thread_local ThreadContext* tl_current_context = nullptr;
 
 uintptr_t LineOf(uintptr_t offset) { return offset & ~(kCachelineBytes - 1); }
+
+// log2(n) if n is a nonzero power of two, else -1.
+int ShiftFor(size_t n) {
+  if (n == 0 || (n & (n - 1)) != 0) {
+    return -1;
+  }
+  int shift = 0;
+  while ((n >> shift) != 1) {
+    shift++;
+  }
+  return shift;
+}
 }  // namespace
 
 ThreadContext::ThreadContext(PmDevice& device, int socket, int worker_id)
     : device_(device), socket_(socket), worker_id_(worker_id) {
   pending_lines_.reserve(64);
+  pending_dedup_.resize(128);
   previous_ = tl_current_context;
   tl_current_context = this;
   device_.RegisterContext(this);
@@ -33,8 +46,17 @@ ThreadContext* ThreadContext::Current() { return tl_current_context; }
 
 void ThreadContext::SetCurrent(ThreadContext* ctx) { tl_current_context = ctx; }
 
-PmDevice::PmDevice(const DeviceConfig& config) : config_(config) {
+PmDevice::PmDevice(const DeviceConfig& config)
+    : config_(config),
+      dimm_busy_until_ns_(static_cast<size_t>(config.total_dimms())) {
   assert(config_.pool_bytes % (config_.socket_region_bytes()) == 0);
+  socket_shift_ = ShiftFor(config_.socket_region_bytes());
+  interleave_shift_ = ShiftFor(config_.interleave_bytes);
+  unit_shift_ = ShiftFor(config_.xpline_bytes);
+  dimm_mask_ = ShiftFor(static_cast<size_t>(config_.dimms_per_socket)) >= 0
+                   ? static_cast<size_t>(config_.dimms_per_socket) - 1
+                   : 0;
+  unit_scale_ = config_.xpline_bytes >= kXplineBytes ? config_.xpline_bytes / kXplineBytes : 1;
   pool_ = MapAnonymous(config_.pool_bytes);
   if (config_.crash_tracking) {
     shadow_ = MapAnonymous(config_.pool_bytes);
@@ -46,7 +68,6 @@ PmDevice::PmDevice(const DeviceConfig& config) : config_(config) {
     xpbuffers_.push_back(std::make_unique<XpBuffer>(
         config_.xpbuffer_entries(),
         static_cast<int>(config_.xpline_bytes / kCachelineBytes)));
-    dimm_busy_until_ns_.push_back(std::make_unique<std::atomic<uint64_t>>(0));
   }
   size_t num_pages = (config_.pool_bytes + kTagPageBytes - 1) / kTagPageBytes;
   page_tags_ = std::make_unique<std::atomic<uint8_t>[]>(num_pages);
@@ -74,14 +95,6 @@ void PmDevice::Unmap(Mapping& mapping) {
   }
 }
 
-int PmDevice::DimmOf(uintptr_t offset) const {
-  int socket = SocketOf(offset);
-  uintptr_t in_socket = offset % config_.socket_region_bytes();
-  auto dimm_in_socket = static_cast<int>((in_socket / config_.interleave_bytes) %
-                                         static_cast<size_t>(config_.dimms_per_socket));
-  return socket * config_.dimms_per_socket + dimm_in_socket;
-}
-
 void PmDevice::RegisterRange(const void* start, size_t len, StreamTag tag) {
   uintptr_t off = OffsetOf(start);
   size_t first = off / kTagPageBytes;
@@ -97,7 +110,7 @@ StreamTag PmDevice::TagOf(uintptr_t offset) const {
 
 void PmDevice::FlushLine(ThreadContext& ctx, const void* addr) {
   assert(Contains(addr));
-  stats_.AddLineFlush();
+  ctx.stats_shard().AddLineFlush();
   uintptr_t line = LineOf(OffsetOf(addr));
   if (config_.eadr) {
     // No explicit flush cost: the store is already persistent. The dirty line
@@ -111,14 +124,11 @@ void PmDevice::FlushLine(ThreadContext& ctx, const void* addr) {
   ctx.AdvanceCpu(config_.cost.cacheline_flush_ns);
   // Dedup within the pending set: repeated clwb of the same line before the
   // fence costs CPU but persists once.
-  auto& pending = ctx.pending_lines_;
-  if (std::find(pending.begin(), pending.end(), line) == pending.end()) {
-    pending.push_back(line);
-  }
+  ctx.AddPendingLine(line);
 }
 
 void PmDevice::Fence(ThreadContext& ctx) {
-  stats_.AddFence();
+  ctx.stats_shard().AddFence();
   if (config_.eadr) {
     return;  // No ordering cost modeled in eADR mode.
   }
@@ -126,7 +136,7 @@ void PmDevice::Fence(ThreadContext& ctx) {
   for (uintptr_t line : ctx.pending_lines_) {
     CommitLine(ctx, line);
   }
-  ctx.pending_lines_.clear();
+  ctx.ClearPending();
 }
 
 void PmDevice::PersistRange(ThreadContext& ctx, const void* addr, size_t len) {
@@ -146,90 +156,102 @@ void PmDevice::CommitLine(ThreadContext& ctx, uintptr_t line_offset) {
 }
 
 void PmDevice::PushThroughXpBuffer(ThreadContext& ctx, uintptr_t line_offset) {
-  int dimm = DimmOf(line_offset);
-  bool remote = SocketOf(line_offset) != ctx.socket();
+  int socket = SocketOf(line_offset);
+  int dimm = DimmOfAt(line_offset, socket);
+  bool remote = socket != ctx.socket();
   if (remote) {
-    stats_.AddRemoteAccess();
+    ctx.stats_shard().AddRemoteAccess();
   }
   size_t unit = config_.xpline_bytes;
+  XpBuffer& buffer = *xpbuffers_[static_cast<size_t>(dimm)];
+  XpBufferResult result;
+  uint64_t lag = 0;
+  {
+    std::lock_guard<XpBufferLock> guard(buffer.mutex());
+    result = buffer.OnLineFlushLocked(UnitOf(line_offset), LineInUnit(line_offset),
+                                      TagOf(line_offset));
+    if (result.evicted) {
+      // Service time scales with the media unit (a 4 KB flash page takes
+      // proportionally longer than a 256 B XPLine).
+      uint64_t service = (config_.cost.xpline_write_service_ns +
+                          (result.rmw ? config_.cost.xpline_rmw_extra_ns : 0)) *
+                         unit_scale_;
+      if (remote) {
+        service = service * config_.cost.remote_penalty_pct / 100;
+      }
+      lag = AdvanceDimmClockLocked(dimm, ctx.now_ns(), service);
+    }
+  }
+  if (result.evicted) {
+    ctx.stats_shard().AddMediaWrite(result.evicted_tag, unit);
+    if (result.rmw) {
+      ctx.stats_shard().AddMediaRead(unit);
+    }
+    // Media writes are asynchronous behind the WPQ, but a writer stalls once
+    // the queue of unserviced media work exceeds the WPQ slack: this is what
+    // makes XPLine count — not cacheline count — the bottleneck under load
+    // (paper Figure 2).
+    if (lag > config_.cost.wpq_slack_ns) {
+      ctx.AdvanceCpu(lag - config_.cost.wpq_slack_ns);
+    }
+  }
+}
+
+// Cost-free accounting path for end-of-run drains that have no calling
+// context: media traffic is recorded against the shared base counters and no
+// virtual time is charged.
+void PmDevice::PushThroughXpBufferAccountingOnly(uintptr_t line_offset) {
+  int dimm = DimmOf(line_offset);
+  size_t unit = config_.xpline_bytes;
   XpBufferResult result = xpbuffers_[static_cast<size_t>(dimm)]->OnLineFlush(
-      line_offset / unit, static_cast<int>((line_offset % unit) / kCachelineBytes),
-      TagOf(line_offset));
+      UnitOf(line_offset), LineInUnit(line_offset), TagOf(line_offset));
   if (result.evicted) {
     stats_.AddMediaWrite(result.evicted_tag, unit);
     if (result.rmw) {
       stats_.AddMediaRead(unit);
     }
-    ChargeMediaWrite(ctx, dimm, result.rmw, remote);
-  }
-}
-
-void PmDevice::ChargeMediaWrite(ThreadContext& ctx, int dimm, bool rmw, bool remote) {
-  // Service time scales with the media unit (a 4 KB flash page takes
-  // proportionally longer than a 256 B XPLine).
-  uint64_t unit_scale = config_.xpline_bytes / kXplineBytes;
-  if (unit_scale == 0) {
-    unit_scale = 1;
-  }
-  uint64_t service = (config_.cost.xpline_write_service_ns +
-                      (rmw ? config_.cost.xpline_rmw_extra_ns : 0)) *
-                     unit_scale;
-  if (remote) {
-    service = service * config_.cost.remote_penalty_pct / 100;
-  }
-  auto& busy = *dimm_busy_until_ns_[static_cast<size_t>(dimm)];
-  uint64_t now = ctx.now_ns();
-  uint64_t observed = busy.load(std::memory_order_relaxed);
-  uint64_t finish;
-  do {
-    finish = std::max(observed, now) + service;
-  } while (!busy.compare_exchange_weak(observed, finish, std::memory_order_relaxed));
-  // Media writes are asynchronous behind the WPQ, but a writer stalls once
-  // the queue of unserviced media work exceeds the WPQ slack: this is what
-  // makes XPLine count — not cacheline count — the bottleneck under load
-  // (paper Figure 2).
-  uint64_t lag = finish - now;
-  if (lag > config_.cost.wpq_slack_ns) {
-    ctx.AdvanceCpu(lag - config_.cost.wpq_slack_ns);
   }
 }
 
 void PmDevice::ReadPm(ThreadContext& ctx, const void* addr, size_t len) {
   assert(Contains(addr));
   size_t unit = config_.xpline_bytes;
-  uintptr_t start = OffsetOf(addr) / unit;
-  uintptr_t end = (OffsetOf(addr) + len + unit - 1) / unit;
+  uintptr_t start = UnitOf(OffsetOf(addr));
+  uintptr_t end = UnitOf(OffsetOf(addr) + len + unit - 1);
   for (uintptr_t xpline = start; xpline < end; xpline++) {
     uintptr_t offset = xpline * unit;
-    int dimm = DimmOf(offset);
-    bool remote = SocketOf(offset) != ctx.socket();
-    bool hit = xpbuffers_[static_cast<size_t>(dimm)]->OnRead(xpline);
-    stats_.AddPmRead(hit);
+    int socket = SocketOf(offset);
+    int dimm = DimmOfAt(offset, socket);
+    bool remote = socket != ctx.socket();
+    XpBuffer& buffer = *xpbuffers_[static_cast<size_t>(dimm)];
+    bool hit;
+    uint64_t lag = 0;
+    {
+      std::lock_guard<XpBufferLock> guard(buffer.mutex());
+      hit = buffer.OnReadLocked(xpline);
+      if (!hit) {
+        // Read misses occupy the DIMM's media server: the read completes no
+        // earlier than the queued media work, which is what saturates
+        // read-heavy multi-thread workloads on real DCPMM.
+        uint64_t service = config_.cost.xpline_read_service_ns;
+        if (remote) {
+          service = service * config_.cost.remote_penalty_pct / 100;
+        }
+        uint64_t full_lag = AdvanceDimmClockLocked(dimm, ctx.now_ns(), service);
+        lag = full_lag > service ? full_lag - service : 0;
+      }
+    }
+    ctx.stats_shard().AddPmRead(hit);
     if (remote) {
-      stats_.AddRemoteAccess();
+      ctx.stats_shard().AddRemoteAccess();
     }
     uint64_t latency = hit ? config_.cost.pm_read_hit_ns : config_.cost.pm_read_ns;
     if (remote) {
       latency = latency * config_.cost.remote_penalty_pct / 100;
     }
     if (!hit) {
-      stats_.AddMediaRead(unit);
-      // Read misses occupy the DIMM's media server: the read completes no
-      // earlier than the queued media work, which is what saturates
-      // read-heavy multi-thread workloads on real DCPMM.
-      uint64_t service = config_.cost.xpline_read_service_ns;
-      if (remote) {
-        service = service * config_.cost.remote_penalty_pct / 100;
-      }
-      auto& busy = *dimm_busy_until_ns_[static_cast<size_t>(dimm)];
-      uint64_t now = ctx.now_ns();
-      uint64_t observed = busy.load(std::memory_order_relaxed);
-      uint64_t finish;
-      do {
-        finish = std::max(observed, now) + service;
-      } while (!busy.compare_exchange_weak(observed, finish, std::memory_order_relaxed));
-      uint64_t queue_delay = finish - now > service ? finish - now - service : 0;
-      ctx.AdvanceCpu(queue_delay);
+      ctx.stats_shard().AddMediaRead(unit);
+      ctx.AdvanceCpu(lag);
     }
     ctx.AdvanceCpu(latency);
   }
@@ -257,15 +279,23 @@ void PmDevice::DrainBuffers() {
     for (uintptr_t line : eadr_cache_) {
       if (ctx != nullptr) {
         PushThroughXpBuffer(*ctx, line);
+      } else {
+        // No calling context (e.g. all workers already torn down): the dirty
+        // lines still reach media — account for them cost-free rather than
+        // silently dropping their media writes.
+        PushThroughXpBufferAccountingOnly(line);
       }
     }
     eadr_cache_.clear();
   }
+  // End-of-run accounting uses the configured media unit: draining a 4 KB
+  // CXL-flash page writes 4 KB, not the 256 B XPLine default.
+  uint64_t unit = config_.xpline_bytes;
   for (auto& xpbuffer : xpbuffers_) {
-    xpbuffer->Drain([this](bool rmw, StreamTag tag) {
-      stats_.AddMediaWrite(tag);
+    xpbuffer->Drain([this, unit](bool rmw, StreamTag tag) {
+      stats_.AddMediaWrite(tag, unit);
       if (rmw) {
-        stats_.AddMediaRead();
+        stats_.AddMediaRead(unit);
       }
     });
   }
@@ -276,7 +306,7 @@ void PmDevice::Crash() {
   {
     std::lock_guard<std::mutex> guard(contexts_mu_);
     for (ThreadContext* ctx : contexts_) {
-      ctx->pending_lines_.clear();
+      ctx->ClearPending();
     }
   }
   std::memcpy(pool_.get(), shadow_.get(), config_.pool_bytes);
@@ -298,7 +328,7 @@ void PmDevice::CrashTorn(uint64_t seed) {
           std::memcpy(shadow_.get() + line, pool_.get() + line, kCachelineBytes);
         }
       }
-      ctx->pending_lines_.clear();
+      ctx->ClearPending();
     }
   }
   std::memcpy(pool_.get(), shadow_.get(), config_.pool_bytes);
@@ -309,15 +339,17 @@ void PmDevice::CrashTorn(uint64_t seed) {
 
 uint64_t PmDevice::MaxDimmBusyNs() const {
   uint64_t max_busy = 0;
-  for (const auto& busy : dimm_busy_until_ns_) {
-    max_busy = std::max(max_busy, busy->load(std::memory_order_relaxed));
+  for (size_t dimm = 0; dimm < dimm_busy_until_ns_.size(); dimm++) {
+    std::lock_guard<XpBufferLock> guard(xpbuffers_[dimm]->mutex());
+    max_busy = std::max(max_busy, dimm_busy_until_ns_[dimm].busy_until_ns);
   }
   return max_busy;
 }
 
 void PmDevice::ResetCosts() {
-  for (auto& busy : dimm_busy_until_ns_) {
-    busy->store(0, std::memory_order_relaxed);
+  for (size_t dimm = 0; dimm < dimm_busy_until_ns_.size(); dimm++) {
+    std::lock_guard<XpBufferLock> guard(xpbuffers_[dimm]->mutex());
+    dimm_busy_until_ns_[dimm].busy_until_ns = 0;
   }
   // Keep every live virtual clock coherent with the reset busy timeline
   // (background threads like a GC worker would otherwise re-enter with a
@@ -330,11 +362,15 @@ void PmDevice::ResetCosts() {
 }
 
 void PmDevice::RegisterContext(ThreadContext* ctx) {
+  stats_.RegisterShard(&ctx->stats_shard());
   std::lock_guard<std::mutex> guard(contexts_mu_);
   contexts_.push_back(ctx);
 }
 
 void PmDevice::UnregisterContext(ThreadContext* ctx) {
+  // Folds the context's counter shard into the base so its contribution
+  // outlives it.
+  stats_.UnregisterShard(&ctx->stats_shard());
   std::lock_guard<std::mutex> guard(contexts_mu_);
   contexts_.erase(std::remove(contexts_.begin(), contexts_.end(), ctx), contexts_.end());
 }

@@ -54,11 +54,28 @@ class PmDevice {
   }
   void* AddrOf(uintptr_t offset) { return pool_.get() + offset; }
 
+  // Socket/DIMM mapping sits on the per-flush hot path; the divisors are
+  // precomputed at construction and use shifts when they are powers of two
+  // (the default geometry; arbitrary values fall back to division).
   int SocketOf(uintptr_t offset) const {
-    return static_cast<int>(offset / config_.socket_region_bytes());
+    return static_cast<int>(socket_shift_ >= 0 ? offset >> socket_shift_
+                                               : offset / config_.socket_region_bytes());
   }
   // Global DIMM index in [0, total_dimms).
-  int DimmOf(uintptr_t offset) const;
+  int DimmOf(uintptr_t offset) const { return DimmOfAt(offset, SocketOf(offset)); }
+  // Variant for callers that already know the socket (the commit path needs
+  // both and computes SocketOf once).
+  int DimmOfAt(uintptr_t offset, int socket) const {
+    uintptr_t in_socket =
+        socket_shift_ >= 0 ? offset & (config_.socket_region_bytes() - 1)
+                           : offset % config_.socket_region_bytes();
+    uintptr_t slot = interleave_shift_ >= 0 ? in_socket >> interleave_shift_
+                                            : in_socket / config_.interleave_bytes;
+    auto dimm_in_socket = static_cast<int>(
+        dimm_mask_ != 0 ? slot & dimm_mask_
+                        : slot % static_cast<size_t>(config_.dimms_per_socket));
+    return socket * config_.dimms_per_socket + dimm_in_socket;
+  }
 
   // --- stream attribution -------------------------------------------------
   // Allocators register the ranges they hand out so evicted XPLines can be
@@ -105,7 +122,28 @@ class PmDevice {
   // charging media costs to `ctx`.
   void CommitLine(ThreadContext& ctx, uintptr_t line_offset);
   void PushThroughXpBuffer(ThreadContext& ctx, uintptr_t line_offset);
-  void ChargeMediaWrite(ThreadContext& ctx, int dimm, bool rmw, bool remote);
+  // Context-free variant for end-of-run drains: records media traffic on the
+  // shared base counters, charges no virtual time.
+  void PushThroughXpBufferAccountingOnly(uintptr_t line_offset);
+
+  // Media-unit ("XPLine") index and cacheline position within it.
+  uint64_t UnitOf(uintptr_t offset) const {
+    return unit_shift_ >= 0 ? offset >> unit_shift_ : offset / config_.xpline_bytes;
+  }
+  int LineInUnit(uintptr_t offset) const {
+    size_t in_unit = unit_shift_ >= 0 ? offset & (config_.xpline_bytes - 1)
+                                      : offset % config_.xpline_bytes;
+    return static_cast<int>(in_unit / kCachelineBytes);
+  }
+  // Advances `dimm`'s write-server timeline by `service` virtual ns and
+  // returns how far `now` lags behind the new completion time. Caller must
+  // hold that DIMM's buffer lock (xpbuffers_[dimm]->mutex()).
+  uint64_t AdvanceDimmClockLocked(int dimm, uint64_t now, uint64_t service) {
+    uint64_t& clock = dimm_busy_until_ns_[static_cast<size_t>(dimm)].busy_until_ns;
+    uint64_t finish = (clock > now ? clock : now) + service;
+    clock = finish;
+    return finish - now;
+  }
   // eADR: insert the line into the modeled CPU cache, randomly evicting.
   void EadrCacheInsert(ThreadContext& ctx, uintptr_t line_offset);
 
@@ -123,11 +161,26 @@ class PmDevice {
   static void Unmap(Mapping& mapping);
 
   DeviceConfig config_;
+  // Hot-path divisor caches: log2 of the divisor when it is a power of two,
+  // -1 to fall back to division/modulo.
+  int socket_shift_ = -1;
+  int interleave_shift_ = -1;
+  int unit_shift_ = -1;
+  size_t dimm_mask_ = 0;  // dimms_per_socket - 1 when pow2, else 0
+  uint64_t unit_scale_ = 1;  // xpline_bytes / 256 (media service multiplier)
   Mapping pool_;
   Mapping shadow_;
   Stats stats_;
   std::vector<std::unique_ptr<XpBuffer>> xpbuffers_;  // one per DIMM
-  std::vector<std::unique_ptr<std::atomic<uint64_t>>> dimm_busy_until_ns_;
+  // One virtual write-server timeline per DIMM, cacheline-padded against
+  // false sharing and stored contiguously. Plain (non-atomic) because every
+  // access — hot-path advances, MaxDimmBusyNs, ResetCosts — happens under
+  // the matching DIMM's buffer lock, which saves an atomic RMW per committed
+  // line over the old standalone CAS loop.
+  struct alignas(64) DimmClock {
+    uint64_t busy_until_ns = 0;
+  };
+  std::vector<DimmClock> dimm_busy_until_ns_;
 
   // Stream tag per 4 KB pool page. Written at allocator-registration time,
   // read on every XPLine eviction; relaxed atomics keep concurrent

@@ -1,11 +1,26 @@
 // Hardware-counter equivalents of what the paper reads through ipmctl:
 // bytes written to the XPBuffer (CLI numerator), bytes physically written to
 // / read from the 3D-XPoint media (XBI numerator), plus NUMA traffic splits.
+//
+// Sharded design: the hot path (PmDevice::FlushLine/Fence/ReadPm) never
+// performs an atomic RMW on shared cachelines. Each ThreadContext owns a
+// cacheline-aligned StatsShard of single-writer counters; Stats keeps a
+// registry of live shards plus a base shard. Snapshot() sums base + live
+// shards; a context's shard is folded into the base when it unregisters.
+//
+// Consistency contract: Snapshot() and Reset() return/establish an *exact*
+// total only when no worker is concurrently mutating PM state (quiesced), as
+// at phase boundaries in the bench driver. Called concurrently they are
+// well-defined (no data races, no torn counters — shard fields are relaxed
+// atomics) but may miss in-flight increments; Reset() concurrent with a
+// running worker may lose that worker's simultaneous increments.
 #ifndef SRC_PMSIM_STATS_H_
 #define SRC_PMSIM_STATS_H_
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
+#include <vector>
 
 #include "src/pmsim/config.h"
 
@@ -54,73 +69,166 @@ struct StatsSnapshot {
   }
 };
 
-class Stats {
- public:
-  void AddUserBytes(uint64_t n) { user_bytes_.fetch_add(n, std::memory_order_relaxed); }
+// One thread's private counter block. Exactly one thread writes it at a time
+// (its increments are relaxed load+store, which the compiler lowers to a
+// plain add — no lock prefix); other threads only issue relaxed loads from
+// Snapshot(). alignas(64) keeps shards off each other's cachelines.
+struct alignas(64) StatsShard {
+  std::atomic<uint64_t> user_bytes{0};
+  std::atomic<uint64_t> line_flushes{0};
+  std::atomic<uint64_t> fences{0};
+  std::atomic<uint64_t> xpbuffer_write_bytes{0};
+  std::atomic<uint64_t> media_write_bytes{0};
+  std::atomic<uint64_t> media_read_bytes{0};
+  std::atomic<uint64_t> media_writes_by_tag[static_cast<int>(StreamTag::kCount)] = {};
+  std::atomic<uint64_t> remote_accesses{0};
+  std::atomic<uint64_t> pm_reads{0};
+  std::atomic<uint64_t> pm_read_hits{0};
+
+  // Single-writer increment: no RMW, no contention.
+  static void Bump(std::atomic<uint64_t>& c, uint64_t n = 1) {
+    c.store(c.load(std::memory_order_relaxed) + n, std::memory_order_relaxed);
+  }
+
+  void AddUserBytes(uint64_t n) { Bump(user_bytes, n); }
   void AddLineFlush() {
-    line_flushes_.fetch_add(1, std::memory_order_relaxed);
-    xpbuffer_write_bytes_.fetch_add(kCachelineBytes, std::memory_order_relaxed);
+    Bump(line_flushes);
+    Bump(xpbuffer_write_bytes, kCachelineBytes);
   }
-  void AddFence() { fences_.fetch_add(1, std::memory_order_relaxed); }
+  void AddFence() { Bump(fences); }
   void AddMediaWrite(StreamTag tag, uint64_t bytes = kXplineBytes) {
-    media_write_bytes_.fetch_add(bytes, std::memory_order_relaxed);
-    media_writes_by_tag_[static_cast<int>(tag)].fetch_add(1, std::memory_order_relaxed);
+    Bump(media_write_bytes, bytes);
+    // Tag counts are in units of media writes (one XPLine / media unit each).
+    Bump(media_writes_by_tag[static_cast<int>(tag)]);
   }
-  void AddMediaRead(uint64_t bytes = kXplineBytes) {
-    media_read_bytes_.fetch_add(bytes, std::memory_order_relaxed);
-  }
-  void AddRemoteAccess() { remote_accesses_.fetch_add(1, std::memory_order_relaxed); }
+  void AddMediaRead(uint64_t bytes = kXplineBytes) { Bump(media_read_bytes, bytes); }
+  void AddRemoteAccess() { Bump(remote_accesses); }
   void AddPmRead(bool hit) {
-    pm_reads_.fetch_add(1, std::memory_order_relaxed);
+    Bump(pm_reads);
     if (hit) {
-      pm_read_hits_.fetch_add(1, std::memory_order_relaxed);
+      Bump(pm_read_hits);
     }
   }
 
-  StatsSnapshot Snapshot() const {
-    StatsSnapshot s;
-    s.user_bytes = user_bytes_.load(std::memory_order_relaxed);
-    s.line_flushes = line_flushes_.load(std::memory_order_relaxed);
-    s.fences = fences_.load(std::memory_order_relaxed);
-    s.xpbuffer_write_bytes = xpbuffer_write_bytes_.load(std::memory_order_relaxed);
-    s.media_write_bytes = media_write_bytes_.load(std::memory_order_relaxed);
-    s.media_read_bytes = media_read_bytes_.load(std::memory_order_relaxed);
+  void AccumulateInto(StatsSnapshot& s) const {
+    s.user_bytes += user_bytes.load(std::memory_order_relaxed);
+    s.line_flushes += line_flushes.load(std::memory_order_relaxed);
+    s.fences += fences.load(std::memory_order_relaxed);
+    s.xpbuffer_write_bytes += xpbuffer_write_bytes.load(std::memory_order_relaxed);
+    s.media_write_bytes += media_write_bytes.load(std::memory_order_relaxed);
+    s.media_read_bytes += media_read_bytes.load(std::memory_order_relaxed);
     for (int i = 0; i < static_cast<int>(StreamTag::kCount); i++) {
-      // Tag counts are in units of XPLines (multiply by kXplineBytes for bytes).
-      s.media_writes_by_tag[i] = media_writes_by_tag_[i].load(std::memory_order_relaxed);
+      s.media_writes_by_tag[i] += media_writes_by_tag[i].load(std::memory_order_relaxed);
     }
-    s.remote_accesses = remote_accesses_.load(std::memory_order_relaxed);
-    s.pm_reads = pm_reads_.load(std::memory_order_relaxed);
-    s.pm_read_hits = pm_read_hits_.load(std::memory_order_relaxed);
+    s.remote_accesses += remote_accesses.load(std::memory_order_relaxed);
+    s.pm_reads += pm_reads.load(std::memory_order_relaxed);
+    s.pm_read_hits += pm_read_hits.load(std::memory_order_relaxed);
+  }
+
+  void StoreZero() {
+    user_bytes.store(0, std::memory_order_relaxed);
+    line_flushes.store(0, std::memory_order_relaxed);
+    fences.store(0, std::memory_order_relaxed);
+    xpbuffer_write_bytes.store(0, std::memory_order_relaxed);
+    media_write_bytes.store(0, std::memory_order_relaxed);
+    media_read_bytes.store(0, std::memory_order_relaxed);
+    for (auto& tag_count : media_writes_by_tag) {
+      tag_count.store(0, std::memory_order_relaxed);
+    }
+    remote_accesses.store(0, std::memory_order_relaxed);
+    pm_reads.store(0, std::memory_order_relaxed);
+    pm_read_hits.store(0, std::memory_order_relaxed);
+  }
+};
+
+class Stats {
+ public:
+  // Multi-writer-safe fallback accessors: atomic RMWs on the shared base
+  // shard. Used by cold paths (end-of-run drains) and by tests/drivers that
+  // update counters without a ThreadContext; hot-path code goes through the
+  // calling context's StatsShard instead.
+  void AddUserBytes(uint64_t n) { base_.user_bytes.fetch_add(n, std::memory_order_relaxed); }
+  void AddLineFlush() {
+    base_.line_flushes.fetch_add(1, std::memory_order_relaxed);
+    base_.xpbuffer_write_bytes.fetch_add(kCachelineBytes, std::memory_order_relaxed);
+  }
+  void AddFence() { base_.fences.fetch_add(1, std::memory_order_relaxed); }
+  void AddMediaWrite(StreamTag tag, uint64_t bytes = kXplineBytes) {
+    base_.media_write_bytes.fetch_add(bytes, std::memory_order_relaxed);
+    base_.media_writes_by_tag[static_cast<int>(tag)].fetch_add(1, std::memory_order_relaxed);
+  }
+  void AddMediaRead(uint64_t bytes = kXplineBytes) {
+    base_.media_read_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void AddRemoteAccess() { base_.remote_accesses.fetch_add(1, std::memory_order_relaxed); }
+  void AddPmRead(bool hit) {
+    base_.pm_reads.fetch_add(1, std::memory_order_relaxed);
+    if (hit) {
+      base_.pm_read_hits.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  // Registers a live single-writer shard to be included in Snapshot().
+  void RegisterShard(StatsShard* shard) {
+    std::lock_guard<std::mutex> guard(shards_mu_);
+    shards_.push_back(shard);
+  }
+
+  // Folds the shard's totals into the base and removes it from the registry
+  // (the shard's owner is going away). The shard is zeroed.
+  void UnregisterShard(StatsShard* shard) {
+    StatsSnapshot totals;
+    shard->AccumulateInto(totals);
+    shard->StoreZero();
+    std::lock_guard<std::mutex> guard(shards_mu_);
+    for (size_t i = 0; i < shards_.size(); i++) {
+      if (shards_[i] == shard) {
+        shards_[i] = shards_.back();
+        shards_.pop_back();
+        break;
+      }
+    }
+    base_.user_bytes.fetch_add(totals.user_bytes, std::memory_order_relaxed);
+    base_.line_flushes.fetch_add(totals.line_flushes, std::memory_order_relaxed);
+    base_.fences.fetch_add(totals.fences, std::memory_order_relaxed);
+    base_.xpbuffer_write_bytes.fetch_add(totals.xpbuffer_write_bytes, std::memory_order_relaxed);
+    base_.media_write_bytes.fetch_add(totals.media_write_bytes, std::memory_order_relaxed);
+    base_.media_read_bytes.fetch_add(totals.media_read_bytes, std::memory_order_relaxed);
+    for (int i = 0; i < static_cast<int>(StreamTag::kCount); i++) {
+      base_.media_writes_by_tag[i].fetch_add(totals.media_writes_by_tag[i],
+                                             std::memory_order_relaxed);
+    }
+    base_.remote_accesses.fetch_add(totals.remote_accesses, std::memory_order_relaxed);
+    base_.pm_reads.fetch_add(totals.pm_reads, std::memory_order_relaxed);
+    base_.pm_read_hits.fetch_add(totals.pm_read_hits, std::memory_order_relaxed);
+  }
+
+  // Base + all live shards. Exact when quiesced (see file header).
+  StatsSnapshot Snapshot() const {
+    std::lock_guard<std::mutex> guard(shards_mu_);
+    StatsSnapshot s;
+    base_.AccumulateInto(s);
+    for (const StatsShard* shard : shards_) {
+      shard->AccumulateInto(s);
+    }
     return s;
   }
 
+  // Zeroes the base and every live shard with atomic stores. Callers must
+  // quiesce workers first for exact semantics (a racing worker's concurrent
+  // increments may be lost, but no torn/undefined values can result).
   void Reset() {
-    user_bytes_ = 0;
-    line_flushes_ = 0;
-    fences_ = 0;
-    xpbuffer_write_bytes_ = 0;
-    media_write_bytes_ = 0;
-    media_read_bytes_ = 0;
-    for (auto& tag_count : media_writes_by_tag_) {
-      tag_count = 0;
+    std::lock_guard<std::mutex> guard(shards_mu_);
+    base_.StoreZero();
+    for (StatsShard* shard : shards_) {
+      shard->StoreZero();
     }
-    remote_accesses_ = 0;
-    pm_reads_ = 0;
-    pm_read_hits_ = 0;
   }
 
  private:
-  std::atomic<uint64_t> user_bytes_{0};
-  std::atomic<uint64_t> line_flushes_{0};
-  std::atomic<uint64_t> fences_{0};
-  std::atomic<uint64_t> xpbuffer_write_bytes_{0};
-  std::atomic<uint64_t> media_write_bytes_{0};
-  std::atomic<uint64_t> media_read_bytes_{0};
-  std::atomic<uint64_t> media_writes_by_tag_[static_cast<int>(StreamTag::kCount)] = {};
-  std::atomic<uint64_t> remote_accesses_{0};
-  std::atomic<uint64_t> pm_reads_{0};
-  std::atomic<uint64_t> pm_read_hits_{0};
+  StatsShard base_;
+  mutable std::mutex shards_mu_;
+  std::vector<StatsShard*> shards_;
 };
 
 }  // namespace cclbt::pmsim

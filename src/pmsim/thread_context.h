@@ -1,5 +1,6 @@
 // Per-thread state for the PM simulator: the thread's virtual clock, its
-// NUMA socket, and the set of cachelines flushed (clwb'd) but not yet fenced.
+// NUMA socket, its private stats shard, and the set of cachelines flushed
+// (clwb'd) but not yet fenced.
 //
 // Virtual time: every worker advances a private nanosecond clock as it
 // performs modeled work (CPU costs, PM read latencies, WPQ back-pressure).
@@ -13,6 +14,8 @@
 #include <atomic>
 #include <cstdint>
 #include <vector>
+
+#include "src/pmsim/stats.h"
 
 namespace cclbt::pmsim {
 
@@ -45,6 +48,11 @@ class ThreadContext {
   int socket() const { return socket_; }
   int worker_id() const { return worker_id_; }
 
+  // This context's private counter block; included in the device's
+  // Stats::Snapshot() while the context is alive and folded into the base on
+  // destruction. Only the thread currently running this context may write it.
+  StatsShard& stats_shard() { return stats_; }
+
   // The clock is atomic (relaxed) because PmDevice::ResetCosts() zeroes the
   // clocks of all registered contexts — including long-lived background
   // threads like CCL-BTree's GC worker — so that every active virtual clock
@@ -58,12 +66,74 @@ class ThreadContext {
  private:
   friend class PmDevice;
 
+  // Records `line` (a line-aligned pool offset) as flushed-but-unfenced.
+  // Returns true if the line was newly added, false if already pending.
+  // O(1): an epoch-stamped open-addressing set dedups, while pending_lines_
+  // keeps first-flush order for commit at fence time (XPBuffer LRU order —
+  // and therefore every virtual-time metric — depends on that order).
+  bool AddPendingLine(uintptr_t line) {
+    size_t idx = PendingHash(line) & (pending_dedup_.size() - 1);
+    while (true) {
+      DedupSlot& slot = pending_dedup_[idx];
+      if (slot.epoch != pending_epoch_) {
+        // Stale/empty slot: within one epoch slots never revert to stale, so
+        // `line` cannot exist later in this probe chain. Claim it.
+        slot.line = line;
+        slot.epoch = pending_epoch_;
+        break;
+      }
+      if (slot.line == line) {
+        return false;
+      }
+      idx = (idx + 1) & (pending_dedup_.size() - 1);
+    }
+    pending_lines_.push_back(line);
+    if (pending_lines_.size() * 2 >= pending_dedup_.size()) {
+      GrowPendingDedup();
+    }
+    return true;
+  }
+
+  // Empties the pending set. Bumping the epoch lazily invalidates every
+  // dedup slot without touching them.
+  void ClearPending() {
+    pending_lines_.clear();
+    pending_epoch_++;
+  }
+
+  void GrowPendingDedup() {
+    std::vector<DedupSlot> bigger(pending_dedup_.size() * 2);
+    pending_epoch_++;
+    pending_dedup_.swap(bigger);
+    for (uintptr_t line : pending_lines_) {
+      size_t idx = PendingHash(line) & (pending_dedup_.size() - 1);
+      while (pending_dedup_[idx].epoch == pending_epoch_) {
+        idx = (idx + 1) & (pending_dedup_.size() - 1);
+      }
+      pending_dedup_[idx] = DedupSlot{line, pending_epoch_};
+    }
+  }
+
+  static size_t PendingHash(uintptr_t line) {
+    return static_cast<size_t>((static_cast<uint64_t>(line) * 0x9E3779B97F4A7C15ULL) >> 32);
+  }
+
+  struct DedupSlot {
+    uintptr_t line = 0;
+    uint64_t epoch = 0;  // slot is live iff epoch == pending_epoch_
+  };
+
   PmDevice& device_;
   int socket_;
   int worker_id_;
   std::atomic<uint64_t> now_ns_{0};
-  // Pool offsets (line-aligned) flushed since the last fence.
+  StatsShard stats_;
+  // Pool offsets (line-aligned) flushed since the last fence, in first-flush
+  // order. pending_dedup_ (power-of-two size, load factor <= 0.5) makes the
+  // duplicate check O(1) instead of a linear scan.
   std::vector<uintptr_t> pending_lines_;
+  std::vector<DedupSlot> pending_dedup_;
+  uint64_t pending_epoch_ = 1;
   ThreadContext* previous_ = nullptr;
 };
 

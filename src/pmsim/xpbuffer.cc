@@ -1,40 +1,45 @@
 #include "src/pmsim/xpbuffer.h"
 
+#include <cassert>
+
 namespace cclbt::pmsim {
 
-XpBufferResult XpBuffer::OnLineFlush(uint64_t xpline, int line_in_xpline, StreamTag tag) {
-  std::lock_guard<std::mutex> guard(mu_);
-  XpBufferResult result;
-  auto it = map_.find(xpline);
-  if (it != map_.end()) {
-    // Write-combining hit: merge into the resident XPLine.
-    it->second.dirty_mask |= 1ULL << line_in_xpline;
-    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
-    return result;
+namespace {
+size_t NextPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) {
+    p <<= 1;
   }
-  if (map_.size() >= capacity_) {
-    // Evict LRU: one media write; RMW read first if partially dirty.
-    uint64_t victim = lru_.back();
-    lru_.pop_back();
-    auto victim_it = map_.find(victim);
-    result.evicted = true;
-    result.rmw = victim_it->second.dirty_mask != full_mask_;
-    result.evicted_tag = victim_it->second.tag;
-    map_.erase(victim_it);
-  }
-  lru_.push_front(xpline);
-  map_.emplace(xpline, Entry{lru_.begin(), 1ULL << line_in_xpline, tag});
-  return result;
+  return p;
+}
+}  // namespace
+
+XpBuffer::XpBuffer(size_t entries, int lines_per_unit)
+    : capacity_(entries),
+      full_mask_(lines_per_unit >= 64 ? ~0ULL : (1ULL << lines_per_unit) - 1) {
+  assert(capacity_ >= 1);
+  // Load factor <= 0.25: probe chains then almost never exceed one step,
+  // which keeps the probe loops' trip counts predictable (the hot path's
+  // cost is dominated by branch mispredicts, not loads — the whole structure
+  // lives in L1). Memory is trivial: 16 B per table entry. Min 16 so tiny
+  // test buffers still probe sanely.
+  size_t table_size = NextPow2(capacity_ * 4 < 16 ? 16 : capacity_ * 4);
+  table_mask_ = table_size - 1;
+  slots_.resize(capacity_);
+  table_.assign(table_size, TableEntry{});
+  ResetLocked();
 }
 
-bool XpBuffer::OnRead(uint64_t xpline) {
-  std::lock_guard<std::mutex> guard(mu_);
-  auto it = map_.find(xpline);
-  if (it == map_.end()) {
-    return false;
+void XpBuffer::ResetLocked() {
+  size_ = 0;
+  lru_head_ = kNil;
+  lru_tail_ = kNil;
+  table_.assign(table_.size(), TableEntry{});
+  // Thread all slots onto the free list.
+  free_head_ = 0;
+  for (size_t i = 0; i < capacity_; i++) {
+    slots_[i].next = i + 1 < capacity_ ? static_cast<int32_t>(i + 1) : kNil;
   }
-  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
-  return true;
 }
 
 }  // namespace cclbt::pmsim

@@ -8,17 +8,51 @@
 //    plus a 256 B media read first if the evicted XPLine was only partially
 //    overwritten (read-modify-write).
 //  * Reads are served from the buffer when the XPLine is resident.
+//
+// Implementation: every structure is preallocated at construction — a flat
+// open-addressing table (linear probing, backward-shift deletion) indexing
+// into a slot array whose entries form an intrusive doubly-linked LRU list.
+// OnLineFlush/OnRead perform zero heap allocations and touch one short probe
+// sequence plus a couple of slot-array cachelines. LRU order, eviction
+// choice and RMW classification are identical to the previous
+// std::list/std::unordered_map implementation, so all virtual-time results
+// are bit-for-bit unchanged.
 #ifndef SRC_PMSIM_XPBUFFER_H_
 #define SRC_PMSIM_XPBUFFER_H_
 
+#include <atomic>
+#include <cassert>
 #include <cstdint>
-#include <list>
 #include <mutex>
-#include <unordered_map>
+#include <thread>
+#include <vector>
 
 #include "src/pmsim/config.h"
 
 namespace cclbt::pmsim {
+
+// Tiny test-and-test-and-set spinlock guarding one DIMM's buffer. Critical
+// sections are a few dozen nanoseconds and per-DIMM sharding keeps real
+// contention low, so the uncontended exchange beats a std::mutex; under
+// contention it backs off to yield instead of burning the core.
+class XpBufferLock {
+ public:
+  void lock() {
+    int spins = 0;
+    while (locked_.exchange(true, std::memory_order_acquire)) {
+      do {
+        if (++spins > 256) {
+          std::this_thread::yield();
+          spins = 0;
+        }
+      } while (locked_.load(std::memory_order_relaxed));
+    }
+  }
+  void unlock() { locked_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> locked_{false};
+};
 
 // Result of pushing one cacheline into the buffer.
 struct XpBufferResult {
@@ -31,50 +65,235 @@ class XpBuffer {
  public:
   // `lines_per_unit` = media unit bytes / 64 (4 for a 256 B XPLine, up to 64
   // for a 4 KB flash page on CXL-flash-like devices, paper §6).
-  explicit XpBuffer(size_t entries, int lines_per_unit = static_cast<int>(kLinesPerXpline))
-      : capacity_(entries),
-        full_mask_(lines_per_unit >= 64 ? ~0ULL : (1ULL << lines_per_unit) - 1) {}
+  explicit XpBuffer(size_t entries, int lines_per_unit = static_cast<int>(kLinesPerXpline));
 
   XpBuffer(const XpBuffer&) = delete;
   XpBuffer& operator=(const XpBuffer&) = delete;
 
   // A cacheline flush for XPLine `xpline` arrived; `line_in_xpline` in [0,4).
   // `tag` classifies the flushing stream for attribution at eviction time.
+  // Defined inline below: this is the single hottest function in the
+  // simulator and the call sits on every committed line.
   XpBufferResult OnLineFlush(uint64_t xpline, int line_in_xpline, StreamTag tag);
 
   // A PM read touching `xpline`. Returns true if served from the buffer.
   bool OnRead(uint64_t xpline);
 
+  // The per-DIMM lock, exposed so the device can piggyback its DIMM
+  // write-server clock update on the buffer's critical section (one lock
+  // round-trip per committed line instead of lock + separate CAS).
+  XpBufferLock& mutex() const { return mu_; }
+  // Variants for callers already holding mutex().
+  XpBufferResult OnLineFlushLocked(uint64_t xpline, int line_in_xpline, StreamTag tag);
+  bool OnReadLocked(uint64_t xpline);
+
   // Evict everything (e.g. end-of-run accounting). Calls `sink(rmw, tag)` per
-  // evicted XPLine.
+  // evicted XPLine. Drained lines do not count toward evictions().
   template <typename Sink>
   void Drain(Sink&& sink) {
-    std::lock_guard<std::mutex> guard(mu_);
-    for (auto& [xpline, entry] : map_) {
-      sink(entry.dirty_mask != full_mask_, entry.tag);
+    std::lock_guard<XpBufferLock> guard(mu_);
+    for (int32_t s = lru_head_; s != kNil; s = slots_[static_cast<size_t>(s)].next) {
+      const Slot& slot = slots_[static_cast<size_t>(s)];
+      sink(slot.dirty_mask != full_mask_, slot.tag);
     }
-    map_.clear();
-    lru_.clear();
+    ResetLocked();
   }
 
   size_t resident() const {
-    std::lock_guard<std::mutex> guard(mu_);
-    return map_.size();
+    std::lock_guard<XpBufferLock> guard(mu_);
+    return size_;
+  }
+
+  // Lifetime conservation counters (for stress tests): every XPLine inserted
+  // is eventually either evicted or still resident, so at any quiesced point
+  // insertions() == evictions() + resident() (modulo Drain(), which resets
+  // the buffer without counting evictions).
+  uint64_t insertions() const {
+    std::lock_guard<XpBufferLock> guard(mu_);
+    return insertions_;
+  }
+  uint64_t evictions() const {
+    std::lock_guard<XpBufferLock> guard(mu_);
+    return evictions_;
   }
 
  private:
-  struct Entry {
-    std::list<uint64_t>::iterator lru_it;
+  static constexpr int32_t kNil = -1;
+
+  struct Slot {
+    uint64_t xpline = 0;
     uint64_t dirty_mask = 0;
+    int32_t prev = kNil;       // intrusive LRU list; head == most recent
+    int32_t next = kNil;       // doubles as the free-list link for unused slots
+    int32_t table_pos = kNil;  // current position in table_, kept in sync by
+                               // insertion and backward-shift deletion so
+                               // eviction needs no second hash probe
     StreamTag tag = StreamTag::kOther;
   };
 
-  size_t capacity_;
-  uint64_t full_mask_;
-  mutable std::mutex mu_;
-  std::list<uint64_t> lru_;  // front == most recent
-  std::unordered_map<uint64_t, Entry> map_;
+  // Table entries carry the key alongside the slot index: probe loops then
+  // touch a single array (one dependent load per step) instead of chasing
+  // table_ -> slots_ on every comparison, which matters because the hot path
+  // runs up to three probe sequences per eviction (find, erase, reinsert).
+  struct TableEntry {
+    uint64_t xpline = 0;
+    int32_t slot = kNil;  // kNil marks an empty table position
+  };
+
+  size_t Home(uint64_t xpline) const {
+    // Fibonacci multiplicative hash; table size is a power of two.
+    return static_cast<size_t>((xpline * 0x9E3779B97F4A7C15ULL) >> 32) & table_mask_;
+  }
+
+  // Returns the slot index holding `xpline`, or kNil on a miss.
+  int32_t Find(uint64_t xpline) const {
+    size_t i = Home(xpline);
+    while (table_[i].slot != kNil) {
+      if (table_[i].xpline == xpline) {
+        return table_[i].slot;
+      }
+      i = (i + 1) & table_mask_;
+    }
+    return kNil;
+  }
+
+  // Backward-shift deletion at table position `idx` (keeps probe chains
+  // intact without tombstones). Knuth Algorithm R: shift later chain members
+  // back into the hole so every key stays reachable from its home position.
+  void TableEraseAt(size_t idx) {
+    size_t hole = idx;
+    size_t j = idx;
+    table_[hole].slot = kNil;
+    while (true) {
+      j = (j + 1) & table_mask_;
+      if (table_[j].slot == kNil) {
+        return;
+      }
+      size_t home = Home(table_[j].xpline);
+      // Move table_[j] into the hole iff the hole lies cyclically between its
+      // home position and j.
+      if (((j - home) & table_mask_) >= ((j - hole) & table_mask_)) {
+        table_[hole] = table_[j];
+        slots_[static_cast<size_t>(table_[j].slot)].table_pos = static_cast<int32_t>(hole);
+        table_[j].slot = kNil;
+        hole = j;
+      }
+    }
+  }
+
+  void LruUnlink(int32_t s) {
+    Slot& slot = slots_[static_cast<size_t>(s)];
+    if (slot.prev != kNil) {
+      slots_[static_cast<size_t>(slot.prev)].next = slot.next;
+    } else {
+      lru_head_ = slot.next;
+    }
+    if (slot.next != kNil) {
+      slots_[static_cast<size_t>(slot.next)].prev = slot.prev;
+    } else {
+      lru_tail_ = slot.prev;
+    }
+  }
+
+  void LruPushFront(int32_t s) {
+    Slot& slot = slots_[static_cast<size_t>(s)];
+    slot.prev = kNil;
+    slot.next = lru_head_;
+    if (lru_head_ != kNil) {
+      slots_[static_cast<size_t>(lru_head_)].prev = s;
+    }
+    lru_head_ = s;
+    if (lru_tail_ == kNil) {
+      lru_tail_ = s;
+    }
+  }
+
+  void LruMoveToFront(int32_t s) {
+    if (lru_head_ != s) {
+      LruUnlink(s);
+      LruPushFront(s);
+    }
+  }
+
+  void ResetLocked();
+
+  const size_t capacity_;
+  const uint64_t full_mask_;
+  size_t table_mask_ = 0;  // table_.size() - 1
+
+  mutable XpBufferLock mu_;
+  size_t size_ = 0;
+  int32_t lru_head_ = kNil;
+  int32_t lru_tail_ = kNil;
+  int32_t free_head_ = kNil;
+  uint64_t insertions_ = 0;
+  uint64_t evictions_ = 0;
+  std::vector<Slot> slots_;        // capacity_ entries, preallocated
+  std::vector<TableEntry> table_;  // open-addressing index into slots_
 };
+
+inline XpBufferResult XpBuffer::OnLineFlush(uint64_t xpline, int line_in_xpline, StreamTag tag) {
+  std::lock_guard<XpBufferLock> guard(mu_);
+  return OnLineFlushLocked(xpline, line_in_xpline, tag);
+}
+
+inline XpBufferResult XpBuffer::OnLineFlushLocked(uint64_t xpline, int line_in_xpline,
+                                                  StreamTag tag) {
+  XpBufferResult result;
+  int32_t s = Find(xpline);
+  if (s != kNil) {
+    // Write-combining hit: merge into the resident XPLine.
+    slots_[static_cast<size_t>(s)].dirty_mask |= 1ULL << line_in_xpline;
+    LruMoveToFront(s);
+    return result;
+  }
+  if (size_ >= capacity_) {
+    // Evict LRU: one media write; RMW read first if partially dirty.
+    int32_t victim = lru_tail_;
+    Slot& vslot = slots_[static_cast<size_t>(victim)];
+    result.evicted = true;
+    result.rmw = vslot.dirty_mask != full_mask_;
+    result.evicted_tag = vslot.tag;
+    evictions_++;
+    LruUnlink(victim);
+    assert(table_[static_cast<size_t>(vslot.table_pos)].slot == victim);
+    TableEraseAt(static_cast<size_t>(vslot.table_pos));
+    size_--;
+    s = victim;
+  } else {
+    s = free_head_;
+    free_head_ = slots_[static_cast<size_t>(s)].next;
+  }
+  Slot& slot = slots_[static_cast<size_t>(s)];
+  slot.xpline = xpline;
+  slot.dirty_mask = 1ULL << line_in_xpline;
+  slot.tag = tag;
+  LruPushFront(s);
+  size_t i = Home(xpline);
+  while (table_[i].slot != kNil) {
+    i = (i + 1) & table_mask_;
+  }
+  table_[i].xpline = xpline;
+  table_[i].slot = s;
+  slot.table_pos = static_cast<int32_t>(i);
+  size_++;
+  insertions_++;
+  return result;
+}
+
+inline bool XpBuffer::OnRead(uint64_t xpline) {
+  std::lock_guard<XpBufferLock> guard(mu_);
+  return OnReadLocked(xpline);
+}
+
+inline bool XpBuffer::OnReadLocked(uint64_t xpline) {
+  int32_t s = Find(xpline);
+  if (s == kNil) {
+    return false;
+  }
+  LruMoveToFront(s);
+  return true;
+}
 
 }  // namespace cclbt::pmsim
 

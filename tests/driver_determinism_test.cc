@@ -1,0 +1,89 @@
+// Regression tests for the driver's determinism contract (see the RunConfig
+// comment in src/bench/driver.h): the virtual-time metrics must be a pure
+// function of the RunConfig, not of host timing. These tests pin that
+// property so hot-path optimizations in pmsim (flat XPBuffer, sharded stats,
+// pending-set dedup) cannot silently perturb simulated results.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/bench/driver.h"
+
+namespace cclbt::bench {
+namespace {
+
+RunConfig SmallConfig() {
+  RunConfig config;
+  config.threads = 4;
+  config.threads_per_socket = 2;
+  config.warm_keys = 20'000;
+  config.ops = 20'000;
+  config.op = OpType::kInsert;
+  config.seed = 1234;
+  return config;
+}
+
+void ExpectIdenticalVirtualMetrics(const RunResult& a, const RunResult& b) {
+  // Bit-identical, not approximately equal: every virtual counter and every
+  // derived virtual time must match exactly.
+  EXPECT_EQ(a.stats.user_bytes, b.stats.user_bytes);
+  EXPECT_EQ(a.stats.line_flushes, b.stats.line_flushes);
+  EXPECT_EQ(a.stats.fences, b.stats.fences);
+  EXPECT_EQ(a.stats.xpbuffer_write_bytes, b.stats.xpbuffer_write_bytes);
+  EXPECT_EQ(a.stats.media_write_bytes, b.stats.media_write_bytes);
+  EXPECT_EQ(a.stats.media_read_bytes, b.stats.media_read_bytes);
+  for (int i = 0; i < 3; i++) {
+    EXPECT_EQ(a.stats.media_writes_by_tag[i], b.stats.media_writes_by_tag[i]) << "tag " << i;
+  }
+  EXPECT_EQ(a.stats.remote_accesses, b.stats.remote_accesses);
+  EXPECT_EQ(a.stats.pm_reads, b.stats.pm_reads);
+  EXPECT_EQ(a.stats.pm_read_hits, b.stats.pm_read_hits);
+  EXPECT_EQ(a.elapsed_virtual_ms, b.elapsed_virtual_ms);
+  EXPECT_EQ(a.max_worker_vtime_ms, b.max_worker_vtime_ms);
+  EXPECT_EQ(a.max_dimm_busy_ms, b.max_dimm_busy_ms);
+  EXPECT_EQ(a.mops, b.mops);
+}
+
+// Same RunConfig, run twice, sequential driver: every virtual metric must be
+// bit-identical. cclbtree's background GC thread is the one source of
+// nondeterminism in the stack, so it is disabled here; the GC path itself is
+// covered by ccl_btree_test and bench_fig14.
+TEST(DriverDeterminismTest, RepeatedRunsAreBitIdentical) {
+  IndexConfig index_config;
+  index_config.tree.background_gc = false;
+  RunConfig config = SmallConfig();
+  RunResult first = RunIndexWorkload("cclbtree", config, index_config);
+  RunResult second = RunIndexWorkload("cclbtree", config, index_config);
+  ASSERT_GT(first.stats.media_write_bytes, 0u);
+  ExpectIdenticalVirtualMetrics(first, second);
+}
+
+// A single logical worker must produce the same virtual metrics whether it
+// runs inline in the driver or on a real OS thread: with one worker there is
+// no interleaving, so os_parallel may not affect simulated results.
+TEST(DriverDeterminismTest, SingleWorkerOsParallelMatchesSequential) {
+  IndexConfig index_config;
+  index_config.tree.background_gc = false;
+  RunConfig config = SmallConfig();
+  config.threads = 1;
+  config.threads_per_socket = 1;
+  config.os_parallel = false;
+  RunResult sequential = RunIndexWorkload("cclbtree", config, index_config);
+  config.os_parallel = true;
+  RunResult parallel = RunIndexWorkload("cclbtree", config, index_config);
+  ASSERT_GT(sequential.stats.media_write_bytes, 0u);
+  ExpectIdenticalVirtualMetrics(sequential, parallel);
+}
+
+// Determinism must hold for a baseline index too (different code path: no
+// log, different flush pattern).
+TEST(DriverDeterminismTest, FastFairRepeatedRunsAreBitIdentical) {
+  RunConfig config = SmallConfig();
+  RunResult first = RunIndexWorkload("fastfair", config);
+  RunResult second = RunIndexWorkload("fastfair", config);
+  ASSERT_GT(first.stats.media_write_bytes, 0u);
+  ExpectIdenticalVirtualMetrics(first, second);
+}
+
+}  // namespace
+}  // namespace cclbt::bench
