@@ -20,6 +20,7 @@
 #include <benchmark/benchmark.h>
 
 #include "src/bench/driver.h"
+#include "src/trace/component.h"
 
 namespace cclbt::bench {
 
@@ -39,6 +40,16 @@ inline void SetCommonCounters(benchmark::State& state, const RunResult& result) 
   state.counters["XBI"] = result.xbi_amplification;
   state.counters["CLI"] = result.cli_amplification;
   state.counters["virt_ms"] = result.elapsed_virtual_ms;
+  // Per-component media-write attribution (pmtrace scopes), nonzero only so
+  // benches that exercise few components stay uncluttered.
+  for (int c = 0; c < trace::kNumComponents; c++) {
+    uint64_t bytes = result.stats.media_write_bytes_by_component[c];
+    if (bytes != 0) {
+      std::string key = std::string("mwB_") +
+                        trace::ComponentName(static_cast<trace::Component>(c));
+      state.counters[key] = static_cast<double>(bytes);
+    }
+  }
 }
 
 inline void SetLatencyCounters(benchmark::State& state, const RunResult& result) {
@@ -47,6 +58,22 @@ inline void SetLatencyCounters(benchmark::State& state, const RunResult& result)
   state.counters["p99_us"] = static_cast<double>(result.latency.Percentile(99)) / 1e3;
   state.counters["p999_us"] = static_cast<double>(result.latency.Percentile(99.9)) / 1e3;
   state.counters["min_us"] = static_cast<double>(result.latency.Min()) / 1e3;
+}
+
+// Per-component latency percentiles (requires collect_component_latency).
+// Only components that recorded ops are reported; the histogram records, for
+// each op, the virtual time spent under that component's trace scope.
+inline void SetComponentLatencyCounters(benchmark::State& state, const RunResult& result) {
+  for (int c = 0; c < trace::kNumComponents; c++) {
+    const LatencyHistogram& h = result.component_latency[static_cast<size_t>(c)];
+    if (h.Count() == 0) {
+      continue;
+    }
+    std::string comp = trace::ComponentName(static_cast<trace::Component>(c));
+    state.counters[comp + "_p50_us"] = static_cast<double>(h.Percentile(50)) / 1e3;
+    state.counters[comp + "_p99_us"] = static_cast<double>(h.Percentile(99)) / 1e3;
+    state.counters[comp + "_p999_us"] = static_cast<double>(h.Percentile(99.9)) / 1e3;
+  }
 }
 
 // Runs the workload once inside the benchmark state loop.

@@ -2,6 +2,11 @@
 // and search at 48 threads. DPTree's buffer gives low median insert latency
 // but its merge produces extreme tails; CCL-BTree's low XBI keeps the p99.9
 // down because writers rarely stall on a saturated WPQ.
+//
+// pmtrace extension: per-op latency is additionally broken down by trace
+// component (wal / leaf / inner / buffernode / gc / ...), reported as
+// <comp>_p50_us / _p99_us / _p999_us counters. The breakdown shows *where*
+// the tail comes from (e.g. buffer-node flushes vs WAL appends).
 #include <string>
 
 #include "bench/bench_common.h"
@@ -23,9 +28,11 @@ void RegisterAll() {
           config.ops = scale;
           config.op = op;
           config.collect_latency = true;
+          config.collect_component_latency = true;
           RunResult result = RunIndexWorkload(name, config);
           SetCommonCounters(state, result);
           SetLatencyCounters(state, result);
+          SetComponentLatencyCounters(state, result);
         }
       })->Iterations(1)->Unit(benchmark::kMillisecond);
     }

@@ -1,17 +1,49 @@
 #!/bin/bash
-# Runs every benchmark binary and appends to bench_output.txt. The pmsim
-# hot-path microbench additionally writes its machine-readable results to
-# BENCH_pmsim.json (host wall-clock metrics — everything else here reports
-# virtual-time metrics).
+# Runs every benchmark binary. Console output is appended to bench_output.txt
+# and each binary's machine-readable results land in BENCH_<name>.json
+# (google-benchmark JSON; bench_pmsim_hotpath keeps its own schema in
+# BENCH_pmsim.json). Results are staged to a temp file and only moved into
+# place after tools/summarize_benches.py --check accepts them, so a crashed
+# or interrupted bench fails this script loudly instead of leaving a
+# partial/invalid BENCH_*.json behind.
+set -u
 cd "$(dirname "$0")"
+
+fail() {
+  echo "run_benches.sh: FAILED: $*" >&2
+  exit 1
+}
+
 : > bench_output.txt
 for b in build/bench/bench_*; do
-  echo "=== $(basename "$b") ===" >> bench_output.txt
-  if [ "$(basename "$b")" = "bench_pmsim_hotpath" ]; then
-    "$b" BENCH_pmsim.json >> bench_output.txt 2>/dev/null
+  name="$(basename "$b")"
+  echo "=== ${name} ===" >> bench_output.txt
+  if [ "$name" = "bench_pmsim_hotpath" ]; then
+    json="BENCH_pmsim.json"   # established artifact name (see CHANGES.md)
   else
-    "$b" >> bench_output.txt 2>/dev/null
+    json="BENCH_${name#bench_}.json"
   fi
+  tmp="$(mktemp "tmp.${name}.XXXXXX")" || fail "mktemp"
+  trap 'rm -f "$tmp"' EXIT
+  if [ "$name" = "bench_pmsim_hotpath" ]; then
+    "$b" "$tmp" >> bench_output.txt 2>&1 \
+      || { rc=$?; rm -f "$tmp"; fail "$name exited with status $rc"; }
+  else
+    "$b" --benchmark_out="$tmp" --benchmark_out_format=json >> bench_output.txt 2>&1 \
+      || { rc=$?; rm -f "$tmp"; fail "$name exited with status $rc"; }
+  fi
+  if [ ! -s "$tmp" ]; then
+    # Console-only bench (custom main, e.g. bench_fig14_gc): its results live
+    # in bench_output.txt and there is no JSON artifact to validate.
+    rm -f "$tmp"
+    trap - EXIT
+    echo "" >> bench_output.txt
+    continue
+  fi
+  tools/summarize_benches.py --check "$tmp" \
+    || { rm -f "$tmp"; fail "$name wrote invalid results (no partial ${json} kept)"; }
+  mv "$tmp" "$json" || { rm -f "$tmp"; fail "cannot move results into ${json}"; }
+  trap - EXIT
   echo "" >> bench_output.txt
 done
 echo "ALL_BENCHES_DONE" >> bench_output.txt

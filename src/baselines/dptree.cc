@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "src/trace/trace.h"
+
 namespace cclbt::baselines {
 
 namespace {
@@ -119,6 +121,7 @@ void DpTree::RewriteLeaf(uint64_t sep, BigLeaf* leaf,
 }
 
 void DpTree::MergeLocked() {
+  trace::TraceScope scope(trace::Component::kLeaf);
   // Foreground threads are stalled (mu_ held exclusive): DPTree's merge
   // pause. Changes are applied leaf-by-leaf in key order with COW rewrites.
   std::vector<std::pair<uint64_t, uint64_t>> entries;

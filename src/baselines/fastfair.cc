@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "src/trace/trace.h"
+
 namespace cclbt::baselines {
 
 namespace {
@@ -91,6 +93,10 @@ FastFairTree::Node* FastFairTree::DescendToLeaf(uint64_t key, Node** path, int* 
 
 void FastFairTree::InsertIntoNode(Node* node, uint64_t key, uint64_t payload, Node** path,
                                   int path_len) {
+  // FAST+FAIR writes PM at every level; leaf vs inner attribution follows the
+  // node being modified.
+  trace::TraceScope scope(node->level == 0 ? trace::Component::kLeaf
+                                           : trace::Component::kInner);
   // Position among sorted entries.
   int pos = 0;
   while (pos < static_cast<int>(node->count) && node->entries[pos].key < key) {

@@ -5,9 +5,11 @@
 #include <cstring>
 #include <thread>
 
+#include "src/bench/trace_dump.h"
 #include "src/common/rng.h"
 #include "src/common/zipfian.h"
 #include "src/pmem/value_store.h"
+#include "src/trace/trace.h"
 
 namespace cclbt::bench {
 
@@ -151,6 +153,17 @@ RunResult RunWorkload(kvindex::Runtime& runtime, kvindex::KvIndex& index,
 
   // --- measurement phase ----------------------------------------------------------
   runtime.device().ResetCosts();
+  // pmtrace: event tracing covers the measurement phase only. Rings are
+  // cleared first so a dump shows this phase, not the warm-up; contexts
+  // created below pick up rings because tracing is already enabled.
+  const bool tracing = TraceDumpRequested();
+  if (tracing) {
+    trace::ClearRings();
+    trace::SetEnabled(true);
+  }
+  if (config.collect_component_latency) {
+    trace::SetScopeTiming(true);
+  }
   pmsim::StatsSnapshot before = runtime.device().stats().Snapshot();
 
   struct WorkerState {
@@ -161,6 +174,8 @@ RunResult RunWorkload(kvindex::Runtime& runtime, kvindex::KvIndex& index,
     uint64_t cursor = 0;
     uint64_t limit = 0;
     LatencyHistogram latency;
+    // Per-component share of each op's latency (collect_component_latency).
+    std::array<LatencyHistogram, trace::kNumComponents> comp_latency;
     uint64_t final_vtime = 0;
 
     WorkerState(const RunConfig& config, int w)
@@ -189,6 +204,15 @@ RunResult RunWorkload(kvindex::Runtime& runtime, kvindex::KvIndex& index,
     pmsim::ThreadContext* ctx = pmsim::ThreadContext::Current();
     OpType op = config.mix != nullptr ? st.picker.Next() : config.op;
     uint64_t t0 = ctx->now_ns();
+    // Scope-timing table snapshot at op start. The flush first charges any
+    // straggler time (inter-op gaps, worker switches) outside the op, so the
+    // end-of-op delta is exactly this op's per-component time.
+    uint64_t comp_before[trace::kNumComponents] = {};
+    if (config.collect_component_latency) {
+      trace::FlushScopeTime();
+      const uint64_t* table = trace::ThreadComponentNs();
+      std::copy(table, table + trace::kNumComponents, comp_before);
+    }
     if (config.key_bytes > 8) {
       key_blobs.ChargeTraversal(runtime, st.rng);
     }
@@ -243,7 +267,26 @@ RunResult RunWorkload(kvindex::Runtime& runtime, kvindex::KvIndex& index,
     if (config.collect_latency) {
       st.latency.Record(ctx->now_ns() - t0);
     }
+    if (config.collect_component_latency) {
+      trace::FlushScopeTime();
+      const uint64_t* table = trace::ThreadComponentNs();
+      for (int c = 0; c < trace::kNumComponents; c++) {
+        uint64_t d = table[c] - comp_before[c];
+        if (d != 0) {
+          st.comp_latency[static_cast<size_t>(c)].Record(d);
+        }
+      }
+    }
   };
+
+  // Stats timeline for the dump, sampled every ~1/32nd of the op count.
+  // Sequential scheduling only: samples from concurrent OS threads would
+  // interleave nondeterministically (and Snapshot() under contention is not
+  // worth a mutex on the op path).
+  std::vector<TimelineSample> timeline;
+  const bool sample_timeline = tracing && !config.os_parallel && config.ops > 0;
+  const uint64_t sample_every = std::max<uint64_t>(1, config.ops / 32);
+  uint64_t sampled_ops = 0;
 
   {
     auto ctxs = MakeContexts(runtime, config);
@@ -252,6 +295,18 @@ RunResult RunWorkload(kvindex::Runtime& runtime, kvindex::KvIndex& index,
       uint64_t end = std::min(st.limit, st.cursor + kSliceOps);
       for (; st.cursor < end; st.cursor++) {
         run_one(st, st.cursor);
+        if (sample_timeline && ++sampled_ops % sample_every == 0) {
+          pmsim::StatsSnapshot now =
+              runtime.device().stats().Snapshot().Delta(before);
+          TimelineSample sample;
+          sample.t_ns = pmsim::ThreadContext::Current()->now_ns();
+          sample.ops_done = sampled_ops;
+          sample.media_write_bytes = now.media_write_bytes;
+          sample.xpbuffer_write_bytes = now.xpbuffer_write_bytes;
+          sample.line_flushes = now.line_flushes;
+          sample.fences = now.fences;
+          timeline.push_back(sample);
+        }
       }
       bool more = st.cursor < st.limit;
       if (!more) {
@@ -280,8 +335,22 @@ RunResult RunWorkload(kvindex::Runtime& runtime, kvindex::KvIndex& index,
                     : static_cast<double>(config.ops) * 1e3 / static_cast<double>(elapsed_ns);
   for (const auto& st : states) {
     result.latency.Merge(st.latency);
+    for (size_t c = 0; c < st.comp_latency.size(); c++) {
+      result.component_latency[c].Merge(st.comp_latency[c]);
+    }
   }
   result.footprint = index.Footprint();
+
+  if (tracing) {
+    result.trace_dump_path =
+        WriteTraceDump(runtime, config.trace_label.empty() ? "run" : config.trace_label,
+                       result.stats, timeline, result.elapsed_virtual_ms);
+    trace::SetEnabled(false);
+    trace::ClearRings();
+  }
+  if (config.collect_component_latency) {
+    trace::SetScopeTiming(false);
+  }
   return result;
 }
 
@@ -289,8 +358,16 @@ RunResult RunIndexWorkload(const std::string& index_name, const RunConfig& confi
                            const IndexConfig& index_config, size_t pool_bytes) {
   kvindex::RuntimeOptions runtime_options;
   runtime_options.device.pool_bytes = pool_bytes;
+  // When a trace dump is requested, also record the per-XPLine heatmap (the
+  // counters only exist when enabled at device construction).
+  runtime_options.device.record_unit_heatmap = TraceDumpRequested();
   kvindex::Runtime runtime(runtime_options);
   auto index = MakeIndex(index_name, runtime, index_config);
+  if (config.trace_label.empty()) {
+    RunConfig labeled = config;
+    labeled.trace_label = index_name;
+    return RunWorkload(runtime, *index, labeled);
+  }
   return RunWorkload(runtime, *index, config);
 }
 

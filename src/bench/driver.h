@@ -11,6 +11,7 @@
 #ifndef SRC_BENCH_DRIVER_H_
 #define SRC_BENCH_DRIVER_H_
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -22,6 +23,7 @@
 #include "src/common/ycsb.h"
 #include "src/kvindex/kv_index.h"
 #include "src/kvindex/runtime.h"
+#include "src/trace/component.h"
 
 namespace cclbt::bench {
 
@@ -39,6 +41,13 @@ struct RunConfig {
   size_t scan_len = 100;
   int threads_per_socket = 48;
   bool collect_latency = false;
+  // Additionally break per-op latency down by trace::Component (enables
+  // trace scope timing for the measurement phase; implies collect_latency
+  // semantics for the component histograms only).
+  bool collect_component_latency = false;
+  // Label stamped into the .pmtrace dump written when CCL_TRACE is set
+  // (RunIndexWorkload defaults it to the index name).
+  std::string trace_label;
   // Values larger than 8 B go through ValueStore indirection; the stored
   // word is the handle (paper §4.4 Opt. 3). 0/8 = inline.
   size_t value_bytes = 8;
@@ -69,6 +78,11 @@ struct RunResult {
   double cli_amplification = 0;
   double xbi_amplification = 0;
   LatencyHistogram latency;        // per-op virtual latencies (if collected)
+  // Per-component share of each op's virtual latency (only ops that spent
+  // time in the component are recorded; see collect_component_latency).
+  std::array<LatencyHistogram, trace::kNumComponents> component_latency;
+  // Path of the .pmtrace dump written for this run ("" when CCL_TRACE unset).
+  std::string trace_dump_path;
   kvindex::MemoryFootprint footprint;
 };
 

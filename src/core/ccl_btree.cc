@@ -9,6 +9,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "src/trace/trace.h"
+
 namespace cclbt::core {
 
 namespace {
@@ -145,6 +147,7 @@ void CclBTree::ChargeDram(uint64_t accesses) const {
 // --- write path ----------------------------------------------------------------
 
 BufferNode* CclBTree::RouteAndLock(uint64_t key) {
+  trace::TraceScope scope(trace::Component::kInner);
   for (;;) {
     bool found = false;
     BufferNode* bn = inner_.RouteFloor(key, &found);
@@ -277,6 +280,7 @@ bool CclBTree::Remove(uint64_t key) {
 }
 
 void CclBTree::FlushBuffer(BufferNode* bn, const kvindex::KeyValue* extra, uint64_t ts) {
+  trace::TraceScope scope(trace::Component::kBufferNode);
   BufferSlot* slots = bn->slots();
   int pos = bn->pos();
   kvindex::KeyValue batch[8];
@@ -289,6 +293,7 @@ void CclBTree::FlushBuffer(BufferNode* bn, const kvindex::KeyValue* extra, uint6
   if (extra != nullptr) {
     batch[n++] = *extra;
   }
+  trace::Emit(trace::EventType::kBufferFlush, static_cast<uint64_t>(n));
   BatchInsertLeaf(bn, batch, n, ts);
   buffer_flushes_.fetch_add(1, std::memory_order_relaxed);
   // The slots keep serving reads as a cache (§3.2: "even when the buffered
@@ -324,6 +329,7 @@ void CclBTree::FlushBuffer(BufferNode* bn, const kvindex::KeyValue* extra, uint6
 
 void CclBTree::BatchInsertLeaf(BufferNode* bn, kvindex::KeyValue* kvs, int n, uint64_t ts,
                                bool update_ts) {
+  trace::TraceScope scope(trace::Component::kLeaf);
   PmLeaf* leaf = bn->leaf();
   // The writer reads the header (bitmap + fingerprints) before modifying.
   pmsim::ReadPm(leaf, 64);
@@ -435,6 +441,7 @@ void CclBTree::BatchInsertLeaf(BufferNode* bn, kvindex::KeyValue* kvs, int n, ui
 }
 
 BufferNode* CclBTree::SplitLeaf(BufferNode* bn, uint64_t ts) {
+  trace::TraceScope scope(trace::Component::kLeaf);
   pmsim::ThreadContext* ctx = pmsim::ThreadContext::Current();
   PmLeaf* leaf = bn->leaf();
   uint64_t bitmap = leaf->bitmap();
@@ -490,10 +497,12 @@ BufferNode* CclBTree::SplitLeaf(BufferNode* bn, uint64_t ts) {
   right_bn->Lock();  // returned locked; caller dispatches pending KVs
   inner_.Insert(split_key, right_bn);
   splits_.fetch_add(1, std::memory_order_relaxed);
+  trace::Emit(trace::EventType::kLeafSplit, split_key);
   return right_bn;
 }
 
 void CclBTree::TryMergeLeft(uint64_t sep) {
+  trace::TraceScope scope(trace::Component::kLeaf);
   assert(sep != 0);
   for (;;) {
     bool found = false;
@@ -587,6 +596,7 @@ void CclBTree::TryMergeLeft(uint64_t sep) {
     live_bn_count_.fetch_sub(1, std::memory_order_relaxed);
     leaf_slab_->Free(right_leaf);
     merges_.fetch_add(1, std::memory_order_relaxed);
+    trace::Emit(trace::EventType::kLeafMerge, sep);
     right->Unlock();
     left->Unlock();
     return;
@@ -766,16 +776,22 @@ void CclBTree::GcThreadBody() {
 }
 
 void CclBTree::RunGcOnce() {
+  if (options_.gc_mode == GcMode::kNone) {
+    return;
+  }
+  trace::TraceScope scope(trace::Component::kGc);
+  trace::Emit(trace::EventType::kGcBegin, wals_->live_bytes());
   switch (options_.gc_mode) {
     case GcMode::kNone:
-      return;
+      break;
     case GcMode::kNaive:
       NaiveGc();
-      return;
+      break;
     case GcMode::kLocalityAware:
       LocalityAwareGc();
-      return;
+      break;
   }
+  trace::Emit(trace::EventType::kGcEnd, wals_->live_bytes());
 }
 
 std::vector<BufferNode*> CclBTree::CollectBufferNodes() const {
@@ -820,6 +836,9 @@ void CclBTree::LocalityAwareGc() {
   // and every later update will receive a still-larger timestamp.
   std::vector<BufferNode*> bns = CollectBufferNodes();
   auto scan_partition = [this, &bns, old_epoch, new_epoch](size_t begin, size_t end) {
+    // Helper threads don't inherit the caller's scope: re-enter kGc here so
+    // their WAL appends attribute as GC-driven I-log traffic.
+    trace::TraceScope scope(trace::Component::kGc);
     pmsim::ThreadContext* gc_ctx = pmsim::ThreadContext::Current();
     for (size_t b = begin; b < end; b++) {
       BufferNode* bn = bns[b];

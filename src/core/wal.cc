@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "src/trace/trace.h"
+
 namespace cclbt::core {
 
 namespace {
@@ -32,6 +34,7 @@ bool EntryValid(const LogEntry& entry, uint32_t generation) {
 ThreadWal::~ThreadWal() = default;
 
 bool ThreadWal::ActivateChunk(int epoch) {
+  trace::TraceScope scope(trace::Component::kWal);
   pmsim::ThreadContext* ctx = pmsim::ThreadContext::Current();
   assert(ctx != nullptr);
   void* mem = arena_->AllocChunk(ctx->socket());
@@ -52,6 +55,8 @@ bool ThreadWal::ActivateChunk(int epoch) {
 }
 
 bool ThreadWal::Append(int epoch, uint64_t key, uint64_t value, uint64_t timestamp) {
+  trace::TraceScope scope(trace::Component::kWal);
+  trace::Emit(trace::EventType::kWalAppend, static_cast<uint64_t>(epoch));
   ActiveChunk& chunk = active_[epoch];
   if (chunk.base == nullptr ||
       chunk.cursor + sizeof(LogEntry) > pmem::kLogChunkBytes) {
@@ -71,6 +76,7 @@ bool ThreadWal::Append(int epoch, uint64_t key, uint64_t value, uint64_t timesta
 }
 
 uint64_t ThreadWal::ReleaseEpoch(int epoch) {
+  trace::TraceScope scope(trace::Component::kWal);
   pmsim::ThreadContext* ctx = pmsim::ThreadContext::Current();
   assert(ctx != nullptr);
   for (std::byte* base : chunks_[epoch]) {

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/trace/trace.h"
+
 namespace cclbt::pmem {
 
 LogArena::LogArena(PmPool& pool, size_t max_chunks) : pool_(&pool), max_chunks_(max_chunks) {}
@@ -25,6 +27,7 @@ std::unique_ptr<LogArena> LogArena::Open(PmPool& pool, uint64_t registry_offset,
 }
 
 void* LogArena::AllocChunk(int socket) {
+  trace::TraceScope scope(trace::Component::kAllocMeta);
   std::lock_guard<std::mutex> guard(mu_);
   if (!free_list_.empty()) {
     void* chunk = free_list_.back();

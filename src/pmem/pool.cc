@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "src/trace/trace.h"
+
 namespace cclbt::pmem {
 
 namespace {
@@ -35,6 +37,7 @@ std::unique_ptr<PmPool> PmPool::Open(pmsim::PmDevice& device) {
 }
 
 void* PmPool::AllocateRaw(size_t bytes, int socket, pmsim::StreamTag tag) {
+  trace::TraceScope scope(trace::Component::kAllocMeta);
   assert(socket >= 0 && socket < device_->config().num_sockets);
   bytes = AlignUp(bytes, kAllocAlign);
   std::lock_guard<std::mutex> guard(mu_);
@@ -58,6 +61,7 @@ uint64_t PmPool::GetAppRoot(int slot) const {
 }
 
 void PmPool::SetAppRoot(int slot, uint64_t offset) {
+  trace::TraceScope scope(trace::Component::kAllocMeta);
   assert(slot >= 0 && slot < kNumAppRoots);
   root()->app_root[slot] = offset;
   pmsim::Persist(&root()->app_root[slot], sizeof(uint64_t));

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/trace/trace.h"
+
 namespace cclbt::pmem {
 
 SlabAllocator::SlabAllocator(PmPool& pool, const Options& options)
@@ -31,6 +33,7 @@ std::unique_ptr<SlabAllocator> SlabAllocator::Open(PmPool& pool, uint64_t regist
 }
 
 bool SlabAllocator::GrowLocked(int socket) {
+  trace::TraceScope scope(trace::Component::kAllocMeta);
   if (registry_->chunk_count >= options_.max_chunks) {
     return false;
   }

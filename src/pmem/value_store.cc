@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "src/trace/trace.h"
+
 namespace cclbt::pmem {
 
 ValueStore::ValueStore(PmPool& pool) : pool_(&pool) {
@@ -12,6 +14,7 @@ ValueStore::ValueStore(PmPool& pool) : pool_(&pool) {
 }
 
 uint64_t ValueStore::Append(std::span<const std::byte> data, int socket) {
+  trace::TraceScope scope(trace::Component::kValueStore);
   size_t need = sizeof(Blob) + data.size();
   // Round to 8 B so headers stay aligned.
   need = (need + 7) & ~size_t{7};

@@ -72,6 +72,10 @@ struct DeviceConfig {
   // Maintain the shadow persistent image for Crash() support. Costs 1x pool
   // memory and a 64 B copy per flush; benches that never crash can disable.
   bool crash_tracking = true;
+  // Record a per-media-unit write counter (one uint32 per XPLine in the
+  // pool) for the pmtrace heatmap exporter. One extra relaxed increment per
+  // media write while on; off by default.
+  bool record_unit_heatmap = false;
   CostParams cost;
 
   int total_dimms() const { return num_sockets * dimms_per_socket; }

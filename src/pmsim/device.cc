@@ -6,10 +6,32 @@
 #include <cassert>
 #include <cstring>
 
+#include "src/trace/event.h"
+#include "src/trace/trace.h"
+
 namespace cclbt::pmsim {
 
 namespace {
 thread_local ThreadContext* tl_current_context = nullptr;
+
+// Installs `ctx`'s trace ring + virtual clock in the trace library's
+// thread-local slots (cleared when no context is current), so TraceScope and
+// Emit can timestamp without a trace -> pmsim dependency.
+void BindTraceFor(ThreadContext* ctx) {
+  if (ctx == nullptr) {
+    trace::BindThread(nullptr, nullptr);
+  } else {
+    trace::BindThread(ctx->trace_ring(), ctx->now_ns_addr());
+  }
+}
+
+// Installed as the trace library's ring factory: lets an emit on a thread
+// whose context predates SetEnabled(true) (e.g. the background GC worker)
+// lazily acquire its ring.
+trace::TraceRing* RingFactoryImpl() {
+  ThreadContext* ctx = tl_current_context;
+  return ctx == nullptr ? nullptr : ctx->EnsureTraceRing();
+}
 
 uintptr_t LineOf(uintptr_t offset) { return offset & ~(kCachelineBytes - 1); }
 
@@ -30,21 +52,42 @@ ThreadContext::ThreadContext(PmDevice& device, int socket, int worker_id)
     : device_(device), socket_(socket), worker_id_(worker_id) {
   pending_lines_.reserve(64);
   pending_dedup_.resize(128);
+  if (trace::Enabled()) {
+    trace_ring_ = trace::AcquireRing(worker_id_, socket_);
+  }
   previous_ = tl_current_context;
   tl_current_context = this;
+  BindTraceFor(this);
   device_.RegisterContext(this);
 }
 
 ThreadContext::~ThreadContext() {
   device_.UnregisterContext(this);
+  if (trace_ring_ != nullptr) {
+    trace::ReleaseRing(trace_ring_);
+  }
   if (tl_current_context == this) {
     tl_current_context = previous_;
+    BindTraceFor(previous_);
   }
+}
+
+trace::TraceRing* ThreadContext::EnsureTraceRing() {
+  if (trace_ring_ == nullptr) {
+    trace_ring_ = trace::AcquireRing(worker_id_, socket_);
+    if (tl_current_context == this) {
+      BindTraceFor(this);
+    }
+  }
+  return trace_ring_;
 }
 
 ThreadContext* ThreadContext::Current() { return tl_current_context; }
 
-void ThreadContext::SetCurrent(ThreadContext* ctx) { tl_current_context = ctx; }
+void ThreadContext::SetCurrent(ThreadContext* ctx) {
+  tl_current_context = ctx;
+  BindTraceFor(ctx);
+}
 
 PmDevice::PmDevice(const DeviceConfig& config)
     : config_(config),
@@ -74,7 +117,15 @@ PmDevice::PmDevice(const DeviceConfig& config)
   for (size_t i = 0; i < num_pages; i++) {
     page_tags_[i].store(static_cast<uint8_t>(StreamTag::kOther), std::memory_order_relaxed);
   }
+  if (config_.record_unit_heatmap) {
+    num_units_ = config_.pool_bytes / config_.xpline_bytes;
+    unit_writes_ = std::make_unique<std::atomic<uint32_t>[]>(num_units_);
+    for (size_t i = 0; i < num_units_; i++) {
+      unit_writes_[i].store(0, std::memory_order_relaxed);
+    }
+  }
   eadr_cache_.reserve(config_.eadr_cache_lines + 1);
+  trace::SetRingFactory(&RingFactoryImpl);
 }
 
 PmDevice::~PmDevice() {
@@ -112,12 +163,14 @@ void PmDevice::FlushLine(ThreadContext& ctx, const void* addr) {
   assert(Contains(addr));
   ctx.stats_shard().AddLineFlush();
   uintptr_t line = LineOf(OffsetOf(addr));
+  trace::Emit(trace::EventType::kFlush, line);
   if (config_.eadr) {
     // No explicit flush cost: the store is already persistent. The dirty line
     // will reach the XPBuffer via the modeled cache-eviction stream.
     if (shadow_.data != nullptr) {
       std::memcpy(shadow_.get() + line, pool_.get() + line, kCachelineBytes);
     }
+    ctx.stats_shard().AddCommittedLines(trace::CurrentComponent(), 1);
     EadrCacheInsert(ctx, line);
     return;
   }
@@ -130,11 +183,29 @@ void PmDevice::FlushLine(ThreadContext& ctx, const void* addr) {
 void PmDevice::Fence(ThreadContext& ctx) {
   ctx.stats_shard().AddFence();
   if (config_.eadr) {
+    trace::Emit(trace::EventType::kFence, 0);
     return;  // No ordering cost modeled in eADR mode.
   }
   ctx.AdvanceCpu(config_.cost.fence_ns);
-  for (uintptr_t line : ctx.pending_lines_) {
-    CommitLine(ctx, line);
+  if (ctx.pending_lines_.empty()) {
+    trace::Emit(trace::EventType::kFence, 0);
+    return;
+  }
+  // The component is read once per fence, not per line: a fence commits the
+  // lines of the scope that issued it, and scopes cannot change mid-fence.
+  const trace::Component comp = trace::CurrentComponent();
+  ctx.stats_shard().AddCommittedLines(comp, ctx.pending_lines_.size());
+  // Likewise the trace gate: one read per fence picks the commit-loop
+  // instantiation, so the disabled loop carries no tracing instructions.
+  if (trace::Enabled()) {
+    trace::Emit(trace::EventType::kFence, ctx.pending_lines_.size());
+    for (uintptr_t line : ctx.pending_lines_) {
+      CommitLine<true>(ctx, line, comp);
+    }
+  } else {
+    for (uintptr_t line : ctx.pending_lines_) {
+      CommitLine<false>(ctx, line, comp);
+    }
   }
   ctx.ClearPending();
 }
@@ -148,14 +219,25 @@ void PmDevice::PersistRange(ThreadContext& ctx, const void* addr, size_t len) {
   Fence(ctx);
 }
 
-void PmDevice::CommitLine(ThreadContext& ctx, uintptr_t line_offset) {
+template <bool kTraced>
+void PmDevice::CommitLine(ThreadContext& ctx, uintptr_t line_offset, trace::Component comp) {
   if (shadow_.data != nullptr) {
     std::memcpy(shadow_.get() + line_offset, pool_.get() + line_offset, kCachelineBytes);
   }
-  PushThroughXpBuffer(ctx, line_offset);
+  PushThroughXpBuffer<kTraced>(ctx, line_offset, comp);
 }
 
-void PmDevice::PushThroughXpBuffer(ThreadContext& ctx, uintptr_t line_offset) {
+void PmDevice::PushLine(ThreadContext& ctx, uintptr_t line_offset, trace::Component comp) {
+  if (trace::Enabled()) {
+    PushThroughXpBuffer<true>(ctx, line_offset, comp);
+  } else {
+    PushThroughXpBuffer<false>(ctx, line_offset, comp);
+  }
+}
+
+template <bool kTraced>
+void PmDevice::PushThroughXpBuffer(ThreadContext& ctx, uintptr_t line_offset,
+                                   trace::Component comp) {
   int socket = SocketOf(line_offset);
   int dimm = DimmOfAt(line_offset, socket);
   bool remote = socket != ctx.socket();
@@ -169,7 +251,7 @@ void PmDevice::PushThroughXpBuffer(ThreadContext& ctx, uintptr_t line_offset) {
   {
     std::lock_guard<XpBufferLock> guard(buffer.mutex());
     result = buffer.OnLineFlushLocked(UnitOf(line_offset), LineInUnit(line_offset),
-                                      TagOf(line_offset));
+                                      TagOf(line_offset), comp);
     if (result.evicted) {
       // Service time scales with the media unit (a 4 KB flash page takes
       // proportionally longer than a 256 B XPLine).
@@ -183,7 +265,14 @@ void PmDevice::PushThroughXpBuffer(ThreadContext& ctx, uintptr_t line_offset) {
     }
   }
   if (result.evicted) {
-    ctx.stats_shard().AddMediaWrite(result.evicted_tag, unit);
+    // The media write is charged to the component whose scope buffered the
+    // evicted XPLine, which may differ from the committing scope `comp`.
+    ctx.stats_shard().AddMediaWrite(result.evicted_tag, result.evicted_comp, unit);
+    NoteMediaWrite(result.evicted_xpline);
+    if constexpr (kTraced) {
+      trace::Emit(trace::EventType::kXpbufEvict, result.evicted_xpline,
+                  result.rmw ? 1u : 0u, static_cast<uint16_t>(dimm));
+    }
     if (result.rmw) {
       ctx.stats_shard().AddMediaRead(unit);
     }
@@ -194,6 +283,9 @@ void PmDevice::PushThroughXpBuffer(ThreadContext& ctx, uintptr_t line_offset) {
     if (lag > config_.cost.wpq_slack_ns) {
       ctx.AdvanceCpu(lag - config_.cost.wpq_slack_ns);
     }
+  } else if constexpr (kTraced) {
+    trace::Emit(trace::EventType::kXpbufHit, UnitOf(line_offset), 0,
+                static_cast<uint16_t>(dimm));
   }
 }
 
@@ -204,9 +296,11 @@ void PmDevice::PushThroughXpBufferAccountingOnly(uintptr_t line_offset) {
   int dimm = DimmOf(line_offset);
   size_t unit = config_.xpline_bytes;
   XpBufferResult result = xpbuffers_[static_cast<size_t>(dimm)]->OnLineFlush(
-      UnitOf(line_offset), LineInUnit(line_offset), TagOf(line_offset));
+      UnitOf(line_offset), LineInUnit(line_offset), TagOf(line_offset),
+      trace::CurrentComponent());
   if (result.evicted) {
-    stats_.AddMediaWrite(result.evicted_tag, unit);
+    stats_.AddMediaWrite(result.evicted_tag, result.evicted_comp, unit);
+    NoteMediaWrite(result.evicted_xpline);
     if (result.rmw) {
       stats_.AddMediaRead(unit);
     }
@@ -242,6 +336,8 @@ void PmDevice::ReadPm(ThreadContext& ctx, const void* addr, size_t len) {
       }
     }
     ctx.stats_shard().AddPmRead(hit);
+    trace::Emit(hit ? trace::EventType::kReadHit : trace::EventType::kReadMiss, xpline, 0,
+                static_cast<uint16_t>(dimm));
     if (remote) {
       ctx.stats_shard().AddRemoteAccess();
     }
@@ -267,7 +363,10 @@ void PmDevice::EadrCacheInsert(ThreadContext& ctx, uintptr_t line_offset) {
     uintptr_t line = eadr_cache_[victim];
     eadr_cache_[victim] = eadr_cache_.back();
     eadr_cache_.pop_back();
-    PushThroughXpBuffer(ctx, line);
+    // Attribution imprecision by design: the implicit eviction is charged to
+    // whatever scope happens to be active on the evicting thread, mirroring
+    // how eADR divorces media traffic from the code that wrote it (§5.5).
+    PushLine(ctx, line, trace::CurrentComponent());
   }
 }
 
@@ -278,7 +377,7 @@ void PmDevice::DrainBuffers() {
     ThreadContext* ctx = ThreadContext::Current();
     for (uintptr_t line : eadr_cache_) {
       if (ctx != nullptr) {
-        PushThroughXpBuffer(*ctx, line);
+        PushLine(*ctx, line, trace::CurrentComponent());
       } else {
         // No calling context (e.g. all workers already torn down): the dirty
         // lines still reach media — account for them cost-free rather than
@@ -292,8 +391,10 @@ void PmDevice::DrainBuffers() {
   // CXL-flash page writes 4 KB, not the 256 B XPLine default.
   uint64_t unit = config_.xpline_bytes;
   for (auto& xpbuffer : xpbuffers_) {
-    xpbuffer->Drain([this, unit](bool rmw, StreamTag tag) {
-      stats_.AddMediaWrite(tag, unit);
+    xpbuffer->Drain([this, unit](bool rmw, StreamTag tag, trace::Component comp,
+                                 uint64_t xpline) {
+      stats_.AddMediaWrite(tag, comp, unit);
+      NoteMediaWrite(xpline);
       if (rmw) {
         stats_.AddMediaRead(unit);
       }
@@ -313,7 +414,7 @@ void PmDevice::Crash() {
   // Fresh boot: the XPBuffer is power-protected, so its content already lives
   // in the shadow image; the model itself restarts cold.
   for (auto& xpbuffer : xpbuffers_) {
-    xpbuffer->Drain([](bool, StreamTag) {});
+    xpbuffer->Drain([](bool, StreamTag, trace::Component, uint64_t) {});
   }
 }
 
@@ -333,7 +434,7 @@ void PmDevice::CrashTorn(uint64_t seed) {
   }
   std::memcpy(pool_.get(), shadow_.get(), config_.pool_bytes);
   for (auto& xpbuffer : xpbuffers_) {
-    xpbuffer->Drain([](bool, StreamTag) {});
+    xpbuffer->Drain([](bool, StreamTag, trace::Component, uint64_t) {});
   }
 }
 
@@ -350,6 +451,11 @@ void PmDevice::ResetCosts() {
   for (size_t dimm = 0; dimm < dimm_busy_until_ns_.size(); dimm++) {
     std::lock_guard<XpBufferLock> guard(xpbuffers_[dimm]->mutex());
     dimm_busy_until_ns_[dimm].busy_until_ns = 0;
+  }
+  // The heatmap is performance accounting too: start each measured phase
+  // clean so warm-up writes don't dominate the picture.
+  for (size_t i = 0; i < num_units_; i++) {
+    unit_writes_[i].store(0, std::memory_order_relaxed);
   }
   // Keep every live virtual clock coherent with the reset busy timeline
   // (background threads like a GC worker would otherwise re-enter with a

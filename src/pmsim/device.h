@@ -115,13 +115,30 @@ class PmDevice {
   // Reset performance accounting between bench phases (not persistence state).
   void ResetCosts();
 
+  // --- pmtrace heatmap -------------------------------------------------------
+  // Per-media-unit write counts, recorded when config.record_unit_heatmap.
+  bool heatmap_enabled() const { return num_units_ != 0; }
+  size_t num_units() const { return num_units_; }
+  uint32_t UnitWriteCount(uint64_t unit) const {
+    return unit_writes_[unit].load(std::memory_order_relaxed);
+  }
+
  private:
   friend class ThreadContext;
 
   // Copies one line to the shadow image and pushes it through the XPBuffer,
-  // charging media costs to `ctx`.
-  void CommitLine(ThreadContext& ctx, uintptr_t line_offset);
-  void PushThroughXpBuffer(ThreadContext& ctx, uintptr_t line_offset);
+  // charging media costs to `ctx`. `comp` is the component whose scope
+  // committed the line (stamped into the buffered XPLine for attribution at
+  // eviction time). Templated on the trace gate so Fence reads the gate once
+  // and the untraced instantiation of the per-line loop carries zero tracing
+  // instructions (the <2% disabled-overhead contract, DESIGN.md §8).
+  template <bool kTraced>
+  void CommitLine(ThreadContext& ctx, uintptr_t line_offset, trace::Component comp);
+  template <bool kTraced>
+  void PushThroughXpBuffer(ThreadContext& ctx, uintptr_t line_offset, trace::Component comp);
+  // Gate-dispatching wrapper for per-line callers off the fence loop (eADR
+  // cache eviction, end-of-run drains).
+  void PushLine(ThreadContext& ctx, uintptr_t line_offset, trace::Component comp);
   // Context-free variant for end-of-run drains: records media traffic on the
   // shared base counters, charges no virtual time.
   void PushThroughXpBufferAccountingOnly(uintptr_t line_offset);
@@ -147,6 +164,14 @@ class PmDevice {
   // eADR: insert the line into the modeled CPU cache, randomly evicting.
   void EadrCacheInsert(ThreadContext& ctx, uintptr_t line_offset);
 
+  // Bumps the heatmap counter for `unit` if the heatmap is on. The fetch_add
+  // only ever runs behind an explicit config opt-in.
+  void NoteMediaWrite(uint64_t unit) {
+    if (num_units_ != 0) {
+      unit_writes_[unit].fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
   void RegisterContext(ThreadContext* ctx);
   void UnregisterContext(ThreadContext* ctx);
 
@@ -168,6 +193,12 @@ class PmDevice {
   int unit_shift_ = -1;
   size_t dimm_mask_ = 0;  // dimms_per_socket - 1 when pow2, else 0
   uint64_t unit_scale_ = 1;  // xpline_bytes / 256 (media service multiplier)
+  // Heatmap write counters, one per media unit; null/0 unless
+  // config.record_unit_heatmap. Declared among the hot members: num_units_
+  // is tested on every XPLine eviction (NoteMediaWrite), so it must share a
+  // cacheline with fields that hot path touches anyway.
+  size_t num_units_ = 0;
+  std::unique_ptr<std::atomic<uint32_t>[]> unit_writes_;
   Mapping pool_;
   Mapping shadow_;
   Stats stats_;

@@ -1,12 +1,20 @@
 // Hardware-counter equivalents of what the paper reads through ipmctl:
 // bytes written to the XPBuffer (CLI numerator), bytes physically written to
-// / read from the 3D-XPoint media (XBI numerator), plus NUMA traffic splits.
+// / read from the 3D-XPoint media (XBI numerator), NUMA traffic splits, plus
+// two attribution dimensions: StreamTag (which address range) and
+// trace::Component (which subsystem's code — see src/trace/component.h).
 //
 // Sharded design: the hot path (PmDevice::FlushLine/Fence/ReadPm) never
 // performs an atomic RMW on shared cachelines. Each ThreadContext owns a
 // cacheline-aligned StatsShard of single-writer counters; Stats keeps a
 // registry of live shards plus a base shard. Snapshot() sums base + live
 // shards; a context's shard is folded into the base when it unregisters.
+//
+// Field list: every counter is declared once, in CCLBT_PMSIM_STATS_FIELDS.
+// Snapshot/shard declarations, Delta(), AccumulateInto(), StoreZero() and
+// the fold in Stats::UnregisterShard() are all generated from that list, so
+// adding a counter anywhere else cannot silently miscount — the
+// static_asserts below fail the build if a member bypasses the list.
 //
 // Consistency contract: Snapshot() and Reset() return/establish an *exact*
 // total only when no worker is concurrently mutating PM state (quiesced), as
@@ -23,20 +31,42 @@
 #include <vector>
 
 #include "src/pmsim/config.h"
+#include "src/trace/component.h"
 
 namespace cclbt::pmsim {
 
+// The single source of truth for the counter set. S(name) declares a scalar
+// counter, A(name, n) an n-element array counter.
+#define CCLBT_PMSIM_STATS_FIELDS(S, A)                                      \
+  S(user_bytes)                                                             \
+  S(line_flushes)                                                           \
+  S(fences)                                                                 \
+  S(xpbuffer_write_bytes)                                                   \
+  S(media_write_bytes)                                                      \
+  S(media_read_bytes)                                                       \
+  S(remote_accesses)                                                        \
+  S(pm_reads)                                                               \
+  S(pm_read_hits)                                                           \
+  A(media_writes_by_tag, static_cast<int>(::cclbt::pmsim::StreamTag::kCount)) \
+  A(media_write_bytes_by_component, ::cclbt::trace::kNumComponents)         \
+  A(committed_lines_by_component, ::cclbt::trace::kNumComponents)
+
+// Total uint64 words in the field list, for the bypass static_asserts.
+namespace stats_detail {
+#define CCLBT_STATS_COUNT_S(name) +1
+#define CCLBT_STATS_COUNT_A(name, n) +(n)
+inline constexpr size_t kStatsWords =
+    0 CCLBT_PMSIM_STATS_FIELDS(CCLBT_STATS_COUNT_S, CCLBT_STATS_COUNT_A);
+#undef CCLBT_STATS_COUNT_S
+#undef CCLBT_STATS_COUNT_A
+}  // namespace stats_detail
+
 struct StatsSnapshot {
-  uint64_t user_bytes = 0;
-  uint64_t line_flushes = 0;
-  uint64_t fences = 0;
-  uint64_t xpbuffer_write_bytes = 0;
-  uint64_t media_write_bytes = 0;
-  uint64_t media_read_bytes = 0;
-  uint64_t media_writes_by_tag[static_cast<int>(StreamTag::kCount)] = {0, 0, 0};
-  uint64_t remote_accesses = 0;
-  uint64_t pm_reads = 0;
-  uint64_t pm_read_hits = 0;
+#define CCLBT_STATS_DECL_S(name) uint64_t name = 0;
+#define CCLBT_STATS_DECL_A(name, n) uint64_t name[n] = {};
+  CCLBT_PMSIM_STATS_FIELDS(CCLBT_STATS_DECL_S, CCLBT_STATS_DECL_A)
+#undef CCLBT_STATS_DECL_S
+#undef CCLBT_STATS_DECL_A
 
   // CLI-amplification: XPBuffer bytes per user byte (paper §2.1).
   double CliAmplification() const {
@@ -51,39 +81,39 @@ struct StatsSnapshot {
                : static_cast<double>(media_write_bytes) / static_cast<double>(user_bytes);
   }
 
+  uint64_t media_write_bytes_for(trace::Component c) const {
+    return media_write_bytes_by_component[static_cast<int>(c)];
+  }
+
   StatsSnapshot Delta(const StatsSnapshot& earlier) const {
     StatsSnapshot d;
-    d.user_bytes = user_bytes - earlier.user_bytes;
-    d.line_flushes = line_flushes - earlier.line_flushes;
-    d.fences = fences - earlier.fences;
-    d.xpbuffer_write_bytes = xpbuffer_write_bytes - earlier.xpbuffer_write_bytes;
-    d.media_write_bytes = media_write_bytes - earlier.media_write_bytes;
-    d.media_read_bytes = media_read_bytes - earlier.media_read_bytes;
-    for (int i = 0; i < static_cast<int>(StreamTag::kCount); i++) {
-      d.media_writes_by_tag[i] = media_writes_by_tag[i] - earlier.media_writes_by_tag[i];
-    }
-    d.remote_accesses = remote_accesses - earlier.remote_accesses;
-    d.pm_reads = pm_reads - earlier.pm_reads;
-    d.pm_read_hits = pm_read_hits - earlier.pm_read_hits;
+#define CCLBT_STATS_DELTA_S(name) d.name = name - earlier.name;
+#define CCLBT_STATS_DELTA_A(name, n)          \
+  for (int i = 0; i < (n); i++) {             \
+    d.name[i] = name[i] - earlier.name[i];    \
+  }
+    CCLBT_PMSIM_STATS_FIELDS(CCLBT_STATS_DELTA_S, CCLBT_STATS_DELTA_A)
+#undef CCLBT_STATS_DELTA_S
+#undef CCLBT_STATS_DELTA_A
     return d;
   }
 };
+
+// Every member must come from CCLBT_PMSIM_STATS_FIELDS: a counter added to
+// the struct directly would change sizeof without changing kStatsWords.
+static_assert(sizeof(StatsSnapshot) == stats_detail::kStatsWords * sizeof(uint64_t),
+              "StatsSnapshot has a member outside CCLBT_PMSIM_STATS_FIELDS");
 
 // One thread's private counter block. Exactly one thread writes it at a time
 // (its increments are relaxed load+store, which the compiler lowers to a
 // plain add — no lock prefix); other threads only issue relaxed loads from
 // Snapshot(). alignas(64) keeps shards off each other's cachelines.
 struct alignas(64) StatsShard {
-  std::atomic<uint64_t> user_bytes{0};
-  std::atomic<uint64_t> line_flushes{0};
-  std::atomic<uint64_t> fences{0};
-  std::atomic<uint64_t> xpbuffer_write_bytes{0};
-  std::atomic<uint64_t> media_write_bytes{0};
-  std::atomic<uint64_t> media_read_bytes{0};
-  std::atomic<uint64_t> media_writes_by_tag[static_cast<int>(StreamTag::kCount)] = {};
-  std::atomic<uint64_t> remote_accesses{0};
-  std::atomic<uint64_t> pm_reads{0};
-  std::atomic<uint64_t> pm_read_hits{0};
+#define CCLBT_STATS_DECL_S(name) std::atomic<uint64_t> name{0};
+#define CCLBT_STATS_DECL_A(name, n) std::atomic<uint64_t> name[n] = {};
+  CCLBT_PMSIM_STATS_FIELDS(CCLBT_STATS_DECL_S, CCLBT_STATS_DECL_A)
+#undef CCLBT_STATS_DECL_S
+#undef CCLBT_STATS_DECL_A
 
   // Single-writer increment: no RMW, no contention.
   static void Bump(std::atomic<uint64_t>& c, uint64_t n = 1) {
@@ -96,10 +126,21 @@ struct alignas(64) StatsShard {
     Bump(xpbuffer_write_bytes, kCachelineBytes);
   }
   void AddFence() { Bump(fences); }
-  void AddMediaWrite(StreamTag tag, uint64_t bytes = kXplineBytes) {
+  // `comp` charges the media write to the subsystem whose scope created the
+  // evicted XPLine (see trace::TraceScope).
+  void AddMediaWrite(StreamTag tag, trace::Component comp, uint64_t bytes = kXplineBytes) {
     Bump(media_write_bytes, bytes);
     // Tag counts are in units of media writes (one XPLine / media unit each).
     Bump(media_writes_by_tag[static_cast<int>(tag)]);
+    Bump(media_write_bytes_by_component[static_cast<int>(comp)], bytes);
+  }
+  void AddMediaWrite(StreamTag tag, uint64_t bytes = kXplineBytes) {
+    AddMediaWrite(tag, trace::Component::kOther, bytes);
+  }
+  // `n` cachelines entered the XPBuffer on behalf of `comp` (fence commit,
+  // or eADR cache insert).
+  void AddCommittedLines(trace::Component comp, uint64_t n) {
+    Bump(committed_lines_by_component[static_cast<int>(comp)], n);
   }
   void AddMediaRead(uint64_t bytes = kXplineBytes) { Bump(media_read_bytes, bytes); }
   void AddRemoteAccess() { Bump(remote_accesses); }
@@ -111,35 +152,46 @@ struct alignas(64) StatsShard {
   }
 
   void AccumulateInto(StatsSnapshot& s) const {
-    s.user_bytes += user_bytes.load(std::memory_order_relaxed);
-    s.line_flushes += line_flushes.load(std::memory_order_relaxed);
-    s.fences += fences.load(std::memory_order_relaxed);
-    s.xpbuffer_write_bytes += xpbuffer_write_bytes.load(std::memory_order_relaxed);
-    s.media_write_bytes += media_write_bytes.load(std::memory_order_relaxed);
-    s.media_read_bytes += media_read_bytes.load(std::memory_order_relaxed);
-    for (int i = 0; i < static_cast<int>(StreamTag::kCount); i++) {
-      s.media_writes_by_tag[i] += media_writes_by_tag[i].load(std::memory_order_relaxed);
-    }
-    s.remote_accesses += remote_accesses.load(std::memory_order_relaxed);
-    s.pm_reads += pm_reads.load(std::memory_order_relaxed);
-    s.pm_read_hits += pm_read_hits.load(std::memory_order_relaxed);
+#define CCLBT_STATS_ACC_S(name) s.name += name.load(std::memory_order_relaxed);
+#define CCLBT_STATS_ACC_A(name, n)                       \
+  for (int i = 0; i < (n); i++) {                        \
+    s.name[i] += name[i].load(std::memory_order_relaxed); \
+  }
+    CCLBT_PMSIM_STATS_FIELDS(CCLBT_STATS_ACC_S, CCLBT_STATS_ACC_A)
+#undef CCLBT_STATS_ACC_S
+#undef CCLBT_STATS_ACC_A
+  }
+
+  // Multi-writer-safe add of a whole snapshot (atomic RMWs; used for the
+  // shared base shard when folding or on context-free cold paths).
+  void FetchAdd(const StatsSnapshot& s) {
+#define CCLBT_STATS_ADD_S(name) name.fetch_add(s.name, std::memory_order_relaxed);
+#define CCLBT_STATS_ADD_A(name, n)                          \
+  for (int i = 0; i < (n); i++) {                           \
+    name[i].fetch_add(s.name[i], std::memory_order_relaxed); \
+  }
+    CCLBT_PMSIM_STATS_FIELDS(CCLBT_STATS_ADD_S, CCLBT_STATS_ADD_A)
+#undef CCLBT_STATS_ADD_S
+#undef CCLBT_STATS_ADD_A
   }
 
   void StoreZero() {
-    user_bytes.store(0, std::memory_order_relaxed);
-    line_flushes.store(0, std::memory_order_relaxed);
-    fences.store(0, std::memory_order_relaxed);
-    xpbuffer_write_bytes.store(0, std::memory_order_relaxed);
-    media_write_bytes.store(0, std::memory_order_relaxed);
-    media_read_bytes.store(0, std::memory_order_relaxed);
-    for (auto& tag_count : media_writes_by_tag) {
-      tag_count.store(0, std::memory_order_relaxed);
-    }
-    remote_accesses.store(0, std::memory_order_relaxed);
-    pm_reads.store(0, std::memory_order_relaxed);
-    pm_read_hits.store(0, std::memory_order_relaxed);
+#define CCLBT_STATS_ZERO_S(name) name.store(0, std::memory_order_relaxed);
+#define CCLBT_STATS_ZERO_A(name, n)            \
+  for (int i = 0; i < (n); i++) {              \
+    name[i].store(0, std::memory_order_relaxed); \
+  }
+    CCLBT_PMSIM_STATS_FIELDS(CCLBT_STATS_ZERO_S, CCLBT_STATS_ZERO_A)
+#undef CCLBT_STATS_ZERO_S
+#undef CCLBT_STATS_ZERO_A
   }
 };
+
+static_assert(sizeof(std::atomic<uint64_t>) == sizeof(uint64_t));
+// Same bypass guard as StatsSnapshot, modulo the alignas(64) tail padding.
+static_assert(sizeof(StatsShard) ==
+                  (stats_detail::kStatsWords * sizeof(uint64_t) + 63) / 64 * 64,
+              "StatsShard has a member outside CCLBT_PMSIM_STATS_FIELDS");
 
 class Stats {
  public:
@@ -153,9 +205,18 @@ class Stats {
     base_.xpbuffer_write_bytes.fetch_add(kCachelineBytes, std::memory_order_relaxed);
   }
   void AddFence() { base_.fences.fetch_add(1, std::memory_order_relaxed); }
-  void AddMediaWrite(StreamTag tag, uint64_t bytes = kXplineBytes) {
+  void AddMediaWrite(StreamTag tag, trace::Component comp, uint64_t bytes = kXplineBytes) {
     base_.media_write_bytes.fetch_add(bytes, std::memory_order_relaxed);
     base_.media_writes_by_tag[static_cast<int>(tag)].fetch_add(1, std::memory_order_relaxed);
+    base_.media_write_bytes_by_component[static_cast<int>(comp)].fetch_add(
+        bytes, std::memory_order_relaxed);
+  }
+  void AddMediaWrite(StreamTag tag, uint64_t bytes = kXplineBytes) {
+    AddMediaWrite(tag, trace::Component::kOther, bytes);
+  }
+  void AddCommittedLines(trace::Component comp, uint64_t n) {
+    base_.committed_lines_by_component[static_cast<int>(comp)].fetch_add(
+        n, std::memory_order_relaxed);
   }
   void AddMediaRead(uint64_t bytes = kXplineBytes) {
     base_.media_read_bytes.fetch_add(bytes, std::memory_order_relaxed);
@@ -188,19 +249,7 @@ class Stats {
         break;
       }
     }
-    base_.user_bytes.fetch_add(totals.user_bytes, std::memory_order_relaxed);
-    base_.line_flushes.fetch_add(totals.line_flushes, std::memory_order_relaxed);
-    base_.fences.fetch_add(totals.fences, std::memory_order_relaxed);
-    base_.xpbuffer_write_bytes.fetch_add(totals.xpbuffer_write_bytes, std::memory_order_relaxed);
-    base_.media_write_bytes.fetch_add(totals.media_write_bytes, std::memory_order_relaxed);
-    base_.media_read_bytes.fetch_add(totals.media_read_bytes, std::memory_order_relaxed);
-    for (int i = 0; i < static_cast<int>(StreamTag::kCount); i++) {
-      base_.media_writes_by_tag[i].fetch_add(totals.media_writes_by_tag[i],
-                                             std::memory_order_relaxed);
-    }
-    base_.remote_accesses.fetch_add(totals.remote_accesses, std::memory_order_relaxed);
-    base_.pm_reads.fetch_add(totals.pm_reads, std::memory_order_relaxed);
-    base_.pm_read_hits.fetch_add(totals.pm_read_hits, std::memory_order_relaxed);
+    base_.FetchAdd(totals);
   }
 
   // Base + all live shards. Exact when quiesced (see file header).

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/pmsim/stats.h"
+#include "src/trace/trace.h"
 
 namespace cclbt::pmsim {
 
@@ -62,6 +63,18 @@ class ThreadContext {
     now_ns_.store(now_ns_.load(std::memory_order_relaxed) + ns, std::memory_order_relaxed);
   }
   void ResetClock(uint64_t to_ns = 0) { now_ns_.store(to_ns, std::memory_order_relaxed); }
+  // Stable address of the clock, bound into the trace library so scopes can
+  // timestamp against this worker's virtual time.
+  const std::atomic<uint64_t>* now_ns_addr() const { return &now_ns_; }
+
+  // This worker's trace ring: lazily acquired from the trace registry on
+  // first use (tracing enabled at construction, or first traced emit via the
+  // ring factory), nullptr until then. The registry owns the ring; it is
+  // released — but its events stay collectable — on destruction.
+  trace::TraceRing* trace_ring() const { return trace_ring_; }
+  // Acquires the ring if not yet done and rebinds the calling thread's trace
+  // slots. Only call from the thread currently running this context.
+  trace::TraceRing* EnsureTraceRing();
 
  private:
   friend class PmDevice;
@@ -127,6 +140,7 @@ class ThreadContext {
   int socket_;
   int worker_id_;
   std::atomic<uint64_t> now_ns_{0};
+  trace::TraceRing* trace_ring_ = nullptr;
   StatsShard stats_;
   // Pool offsets (line-aligned) flushed since the last fence, in first-flush
   // order. pending_dedup_ (power-of-two size, load factor <= 0.5) makes the

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "src/pmsim/config.h"
+#include "src/trace/component.h"
 
 namespace cclbt::pmsim {
 
@@ -59,6 +60,10 @@ struct XpBufferResult {
   bool evicted = false;        // an XPLine was written to media
   bool rmw = false;            // ... and required a read-modify-write
   StreamTag evicted_tag = StreamTag::kOther;
+  // Code-side attribution: the trace::Component whose scope buffered the
+  // evicted XPLine (stamped at insertion, like evicted_tag).
+  trace::Component evicted_comp = trace::Component::kOther;
+  uint64_t evicted_xpline = 0;  // media unit index of the eviction
 };
 
 class XpBuffer {
@@ -71,10 +76,12 @@ class XpBuffer {
   XpBuffer& operator=(const XpBuffer&) = delete;
 
   // A cacheline flush for XPLine `xpline` arrived; `line_in_xpline` in [0,4).
-  // `tag` classifies the flushing stream for attribution at eviction time.
-  // Defined inline below: this is the single hottest function in the
-  // simulator and the call sits on every committed line.
-  XpBufferResult OnLineFlush(uint64_t xpline, int line_in_xpline, StreamTag tag);
+  // `tag` classifies the flushing stream and `comp` the flushing code, both
+  // for attribution at eviction time. Defined inline below: this is the
+  // single hottest function in the simulator and the call sits on every
+  // committed line.
+  XpBufferResult OnLineFlush(uint64_t xpline, int line_in_xpline, StreamTag tag,
+                             trace::Component comp = trace::Component::kOther);
 
   // A PM read touching `xpline`. Returns true if served from the buffer.
   bool OnRead(uint64_t xpline);
@@ -84,17 +91,19 @@ class XpBuffer {
   // round-trip per committed line instead of lock + separate CAS).
   XpBufferLock& mutex() const { return mu_; }
   // Variants for callers already holding mutex().
-  XpBufferResult OnLineFlushLocked(uint64_t xpline, int line_in_xpline, StreamTag tag);
+  XpBufferResult OnLineFlushLocked(uint64_t xpline, int line_in_xpline, StreamTag tag,
+                                   trace::Component comp = trace::Component::kOther);
   bool OnReadLocked(uint64_t xpline);
 
-  // Evict everything (e.g. end-of-run accounting). Calls `sink(rmw, tag)` per
-  // evicted XPLine. Drained lines do not count toward evictions().
+  // Evict everything (e.g. end-of-run accounting). Calls
+  // `sink(rmw, tag, comp, xpline)` per evicted XPLine. Drained lines do not
+  // count toward evictions().
   template <typename Sink>
   void Drain(Sink&& sink) {
     std::lock_guard<XpBufferLock> guard(mu_);
     for (int32_t s = lru_head_; s != kNil; s = slots_[static_cast<size_t>(s)].next) {
       const Slot& slot = slots_[static_cast<size_t>(s)];
-      sink(slot.dirty_mask != full_mask_, slot.tag);
+      sink(slot.dirty_mask != full_mask_, slot.tag, slot.comp, slot.xpline);
     }
     ResetLocked();
   }
@@ -129,6 +138,7 @@ class XpBuffer {
                                // insertion and backward-shift deletion so
                                // eviction needs no second hash probe
     StreamTag tag = StreamTag::kOther;
+    trace::Component comp = trace::Component::kOther;
   };
 
   // Table entries carry the key alongside the slot index: probe loops then
@@ -232,13 +242,14 @@ class XpBuffer {
   std::vector<TableEntry> table_;  // open-addressing index into slots_
 };
 
-inline XpBufferResult XpBuffer::OnLineFlush(uint64_t xpline, int line_in_xpline, StreamTag tag) {
+inline XpBufferResult XpBuffer::OnLineFlush(uint64_t xpline, int line_in_xpline, StreamTag tag,
+                                            trace::Component comp) {
   std::lock_guard<XpBufferLock> guard(mu_);
-  return OnLineFlushLocked(xpline, line_in_xpline, tag);
+  return OnLineFlushLocked(xpline, line_in_xpline, tag, comp);
 }
 
 inline XpBufferResult XpBuffer::OnLineFlushLocked(uint64_t xpline, int line_in_xpline,
-                                                  StreamTag tag) {
+                                                  StreamTag tag, trace::Component comp) {
   XpBufferResult result;
   int32_t s = Find(xpline);
   if (s != kNil) {
@@ -254,6 +265,8 @@ inline XpBufferResult XpBuffer::OnLineFlushLocked(uint64_t xpline, int line_in_x
     result.evicted = true;
     result.rmw = vslot.dirty_mask != full_mask_;
     result.evicted_tag = vslot.tag;
+    result.evicted_comp = vslot.comp;
+    result.evicted_xpline = vslot.xpline;
     evictions_++;
     LruUnlink(victim);
     assert(table_[static_cast<size_t>(vslot.table_pos)].slot == victim);
@@ -268,6 +281,7 @@ inline XpBufferResult XpBuffer::OnLineFlushLocked(uint64_t xpline, int line_in_x
   slot.xpline = xpline;
   slot.dirty_mask = 1ULL << line_in_xpline;
   slot.tag = tag;
+  slot.comp = comp;
   LruPushFront(s);
   size_t i = Home(xpline);
   while (table_[i].slot != kNil) {

@@ -1,0 +1,48 @@
+// Component taxonomy for write-amplification attribution (pmtrace).
+//
+// A Component names the *code* that caused PM traffic, complementing
+// pmsim::StreamTag which names the *address range* the traffic landed on.
+// Core/baseline code pushes a TraceScope(Component) around its PM-writing
+// sections; the simulator charges every cacheline flush and every media
+// write to the innermost active component, so StatsSnapshot can explain
+// which subsystem produced which share of media_write_bytes (the per-figure
+// breakdown the paper derives from ipmctl counters in §2.1/§5).
+#ifndef SRC_TRACE_COMPONENT_H_
+#define SRC_TRACE_COMPONENT_H_
+
+#include <cstdint>
+
+namespace cclbt::trace {
+
+enum class Component : uint8_t {
+  kOther = 0,       // no scope active (tests, raw device benches)
+  kWal = 1,         // per-thread log appends + chunk activation/release
+  kLeaf = 2,        // PM leaf writes incl. splits/merges (SMOs)
+  kInner = 3,       // inner-index routing (DRAM; PM reads for key blobs)
+  kBufferNode = 4,  // buffer-node merge/cache maintenance
+  kGc = 5,          // background/foreground log GC passes
+  kAllocMeta = 6,   // allocator metadata (slab/arena registries, pool root)
+  kValueStore = 7,  // out-of-band value blobs
+  kCount = 8,
+};
+
+inline constexpr int kNumComponents = static_cast<int>(Component::kCount);
+
+inline const char* ComponentName(Component c) {
+  switch (c) {
+    case Component::kOther: return "other";
+    case Component::kWal: return "wal";
+    case Component::kLeaf: return "leaf";
+    case Component::kInner: return "inner";
+    case Component::kBufferNode: return "buffernode";
+    case Component::kGc: return "gc";
+    case Component::kAllocMeta: return "allocmeta";
+    case Component::kValueStore: return "valuestore";
+    case Component::kCount: break;
+  }
+  return "?";
+}
+
+}  // namespace cclbt::trace
+
+#endif  // SRC_TRACE_COMPONENT_H_

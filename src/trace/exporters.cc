@@ -1,0 +1,130 @@
+#include "src/trace/exporters.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace cclbt::trace {
+
+namespace {
+
+// One JSON event row. Chrome's format wants ts in microseconds; emit the
+// virtual-ns clock as fractional us to keep full resolution.
+void EmitRow(std::ostream& out, bool& first, const char* ph, const char* name, int tid,
+             uint64_t t_ns, const std::string& args_json) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%s\n{\"name\":\"%s\",\"ph\":\"%s\",\"ts\":%" PRIu64 ".%03u,\"pid\":1,"
+                "\"tid\":%d",
+                first ? "" : ",", name, ph, t_ns / 1000,
+                static_cast<unsigned>(t_ns % 1000), tid);
+  first = false;
+  out << buf;
+  if (ph[0] == 'i') {
+    out << ",\"s\":\"t\"";  // thread-scoped instant
+  }
+  if (!args_json.empty()) {
+    out << ",\"args\":{" << args_json << "}";
+  }
+  out << "}";
+}
+
+std::string InstantArgs(const TraceEvent& ev) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "\"arg\":%" PRIu64 ",\"aux\":%u,\"comp\":\"%s\"", ev.arg,
+                ev.aux, ComponentName(static_cast<Component>(ev.comp)));
+  std::string s(buf);
+  if (ev.dimm != kNoDimm) {
+    s += ",\"dimm\":" + std::to_string(ev.dimm);
+  }
+  return s;
+}
+
+}  // namespace
+
+void ExportChromeTraceJson(std::ostream& out, const std::vector<NamedRing>& rings,
+                           const std::string& process_name) {
+  out << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  // Metadata: name the process and each worker track.
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\"%s\"}}",
+                process_name.c_str());
+  out << buf;
+  first = false;
+  for (const NamedRing& ring : rings) {
+    std::snprintf(buf, sizeof(buf),
+                  ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,"
+                  "\"args\":{\"name\":\"worker %d (socket %d)\"}}",
+                  ring.worker_id, ring.worker_id, ring.socket);
+    out << buf;
+  }
+  for (const NamedRing& ring : rings) {
+    // Perfetto requires balanced B/E pairs per track. The ring keeps only
+    // the newest events, so an E whose B was overwritten would corrupt the
+    // track: track nesting depth and drop unmatched Es; close dangling Bs
+    // at the ring's final timestamp.
+    int depth = 0;
+    std::vector<const TraceEvent*> open;
+    uint64_t last_ts = 0;
+    for (const TraceEvent& ev : ring.events) {
+      last_ts = std::max(last_ts, ev.t_ns);
+      auto type = static_cast<EventType>(ev.type);
+      if (type == EventType::kScopeBegin) {
+        EmitRow(out, first, "B", ComponentName(static_cast<Component>(ev.comp)),
+                ring.worker_id, ev.t_ns, "");
+        depth++;
+        open.push_back(&ev);
+      } else if (type == EventType::kScopeEnd) {
+        if (depth > 0) {
+          EmitRow(out, first, "E", ComponentName(static_cast<Component>(ev.comp)),
+                  ring.worker_id, ev.t_ns, "");
+          depth--;
+          open.pop_back();
+        }
+      } else {
+        EmitRow(out, first, "i", EventName(type), ring.worker_id, ev.t_ns,
+                InstantArgs(ev));
+      }
+    }
+    while (depth-- > 0) {
+      const TraceEvent* ev = open.back();
+      open.pop_back();
+      EmitRow(out, first, "E", ComponentName(static_cast<Component>(ev->comp)),
+              ring.worker_id, last_ts, "");
+    }
+  }
+  out << "\n]}\n";
+}
+
+void RenderHeatmap(std::ostream& out, const std::vector<HeatBin>& bins, int columns) {
+  if (bins.empty()) {
+    out << "(no media writes recorded)\n";
+    return;
+  }
+  uint64_t max_writes = 0;
+  for (const HeatBin& bin : bins) {
+    max_writes = std::max(max_writes, bin.writes);
+  }
+  static const char kRamp[] = " .:-=+*#%@";
+  constexpr int kLevels = static_cast<int>(sizeof(kRamp)) - 2;  // indices 0..9
+  out << "XPLine write-count heatmap (" << bins.size() << " bins, max "
+      << max_writes << " writes/bin; scale \"" << kRamp << "\")\n";
+  for (size_t i = 0; i < bins.size(); i += static_cast<size_t>(columns)) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%10" PRIu64 " |", bins[i].first_unit);
+    out << buf;
+    for (size_t j = i; j < std::min(bins.size(), i + static_cast<size_t>(columns)); j++) {
+      uint64_t w = bins[j].writes;
+      int level = 0;
+      if (w > 0 && max_writes > 0) {
+        level = 1 + static_cast<int>((w * static_cast<uint64_t>(kLevels - 1)) / max_writes);
+      }
+      out << kRamp[level];
+    }
+    out << "|\n";
+  }
+}
+
+}  // namespace cclbt::trace

@@ -77,7 +77,7 @@ TEST(XpBufferStressTest, DrainAfterStressReportsAllResidentLines) {
   uint64_t evictions_before = buffer.evictions();
   size_t resident_before = buffer.resident();
   size_t drained = 0;
-  buffer.Drain([&drained](bool, StreamTag) { drained++; });
+  buffer.Drain([&drained](bool, StreamTag, trace::Component, uint64_t) { drained++; });
   EXPECT_EQ(drained, resident_before);
   EXPECT_EQ(buffer.resident(), 0u);
   // Drain never counts as eviction.

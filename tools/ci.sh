@@ -1,0 +1,25 @@
+#!/bin/bash
+# The repo's CI entry point, runnable locally:
+#
+#   1. tier-1: default build + full ctest (the gate every change must pass)
+#   2. ASan+UBSan on the pmsim + trace test subset
+#   3. TSan on the pmsim + trace test subset
+#
+# The sanitizer passes cover the code with the trickiest concurrency story —
+# the lock-striped XPBuffer, sharded stats, and the pmtrace ring/registry —
+# without paying for a fully instrumented build of every bench binary.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SANITIZE_FILTER="pmsim|trace"
+
+echo "=== tier-1: configure + build ==="
+cmake -B build -S . >/dev/null
+cmake --build build -j"$(nproc)"
+echo "=== tier-1: ctest ==="
+ctest --test-dir build --output-on-failure -j"$(nproc)"
+
+tools/sanitize.sh asan "${SANITIZE_FILTER}"
+tools/sanitize.sh tsan "${SANITIZE_FILTER}"
+
+echo "=== ci: ALL OK ==="

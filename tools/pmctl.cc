@@ -1,0 +1,403 @@
+// pmctl: inspector for .pmtrace dumps produced by the bench driver (set
+// CCL_TRACE=<prefix> and run any bench; one dump per measured run). Modeled
+// on ipmctl's show/performance verbs, but reading the simulator's richer
+// attribution data instead of DIMM SMART counters.
+//
+//   pmctl stats   <dump>            amplification + per-tag/per-component table
+//   pmctl watch   <dump>            stats timeline as per-interval rates
+//   pmctl heatmap <dump> [--cols N] ASCII XPLine write-count heatmap
+//   pmctl trace   <dump> [-o f]     Chrome trace-event JSON (Perfetto-loadable)
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/trace/component.h"
+#include "src/trace/event.h"
+#include "src/trace/exporters.h"
+#include "src/trace/trace.h"
+
+namespace cclbt::pmctl {
+namespace {
+
+struct TagRow {
+  std::string name;
+  uint64_t writes = 0;
+};
+
+struct CompRow {
+  std::string name;
+  uint64_t media_bytes = 0;
+  uint64_t committed_lines = 0;
+};
+
+struct Sample {
+  uint64_t t_ns = 0;
+  uint64_t ops = 0;
+  uint64_t media_write_bytes = 0;
+  uint64_t xpbuffer_write_bytes = 0;
+  uint64_t line_flushes = 0;
+  uint64_t fences = 0;
+};
+
+struct Dump {
+  int version = 0;
+  std::string label;
+  std::map<std::string, std::string> config;
+  std::vector<std::pair<std::string, uint64_t>> stats;  // declaration order
+  std::vector<TagRow> tags;
+  std::vector<CompRow> comps;
+  std::vector<Sample> samples;
+  uint64_t heat_units = 0;
+  uint64_t heat_per_bin = 0;
+  std::vector<trace::HeatBin> heat_bins;  // sparse, as dumped
+  std::vector<trace::NamedRing> rings;
+};
+
+uint64_t Stat(const Dump& d, const std::string& name) {
+  for (const auto& [k, v] : d.stats) {
+    if (k == name) {
+      return v;
+    }
+  }
+  return 0;
+}
+
+bool ParseDump(const std::string& path, Dump& d) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "pmctl: cannot open " << path << "\n";
+    return false;
+  }
+  std::string line;
+  trace::NamedRing* ring = nullptr;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    lineno++;
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::istringstream ss(line);
+    std::string kw;
+    ss >> kw;
+    if (kw == "pmtrace") {
+      ss >> d.version;
+    } else if (kw == "label") {
+      ss >> d.label;
+    } else if (kw == "config") {
+      std::string key, value;
+      ss >> key >> value;
+      d.config[key] = value;
+    } else if (kw == "stat") {
+      std::string name;
+      uint64_t value = 0;
+      ss >> name >> value;
+      d.stats.emplace_back(name, value);
+    } else if (kw == "stattag") {
+      TagRow row;
+      ss >> row.name >> row.writes;
+      d.tags.push_back(row);
+    } else if (kw == "statcomp") {
+      CompRow row;
+      ss >> row.name >> row.media_bytes >> row.committed_lines;
+      d.comps.push_back(row);
+    } else if (kw == "sample") {
+      Sample s;
+      ss >> s.t_ns >> s.ops >> s.media_write_bytes >> s.xpbuffer_write_bytes >>
+          s.line_flushes >> s.fences;
+      d.samples.push_back(s);
+    } else if (kw == "heat") {
+      ss >> d.heat_units >> d.heat_per_bin;
+    } else if (kw == "heatbin") {
+      trace::HeatBin bin;
+      ss >> bin.first_unit >> bin.units >> bin.writes >> bin.hottest_unit >>
+          bin.hottest_writes;
+      d.heat_bins.push_back(bin);
+    } else if (kw == "ring") {
+      trace::NamedRing r;
+      uint64_t retained = 0;
+      ss >> r.worker_id >> r.socket >> r.emitted >> retained;
+      r.events.reserve(retained);
+      d.rings.push_back(std::move(r));
+      ring = &d.rings.back();
+    } else if (kw == "event") {
+      int worker = 0;
+      uint64_t t_ns = 0, arg = 0;
+      unsigned type = 0, comp = 0, aux = 0, dimm = 0;
+      ss >> worker >> t_ns >> type >> comp >> arg >> aux >> dimm;
+      if (ring == nullptr || ring->worker_id != worker) {
+        std::cerr << "pmctl: " << path << ":" << lineno << ": event outside its ring\n";
+        return false;
+      }
+      trace::TraceEvent ev;
+      ev.t_ns = t_ns;
+      ev.arg = arg;
+      ev.aux = aux;
+      ev.type = static_cast<uint8_t>(type);
+      ev.comp = static_cast<uint8_t>(comp);
+      ev.dimm = static_cast<uint16_t>(dimm);
+      ring->events.push_back(ev);
+    } else {
+      // Unknown keyword: skip (forward compatibility with newer dumps).
+      continue;
+    }
+    if (!ss && kw != "pmtrace") {
+      std::cerr << "pmctl: " << path << ":" << lineno << ": malformed '" << kw
+                << "' line\n";
+      return false;
+    }
+  }
+  if (d.version != 1) {
+    std::cerr << "pmctl: " << path << ": unsupported pmtrace version " << d.version
+              << "\n";
+    return false;
+  }
+  return true;
+}
+
+std::string HumanBytes(uint64_t bytes) {
+  char buf[32];
+  if (bytes >= 1ULL << 30) {
+    std::snprintf(buf, sizeof(buf), "%.2f GiB", static_cast<double>(bytes) / (1ULL << 30));
+  } else if (bytes >= 1ULL << 20) {
+    std::snprintf(buf, sizeof(buf), "%.2f MiB", static_cast<double>(bytes) / (1ULL << 20));
+  } else if (bytes >= 1ULL << 10) {
+    std::snprintf(buf, sizeof(buf), "%.2f KiB", static_cast<double>(bytes) / (1ULL << 10));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu B", static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+int CmdStats(const Dump& d) {
+  uint64_t user = Stat(d, "user_bytes");
+  uint64_t xpb = Stat(d, "xpbuffer_write_bytes");
+  uint64_t media = Stat(d, "media_write_bytes");
+  std::printf("run %s (elapsed %s virtual ms)\n", d.label.c_str(),
+              d.config.count("elapsed_virtual_ms") ? d.config.at("elapsed_virtual_ms").c_str()
+                                                   : "?");
+  std::printf("\n-- counters --\n");
+  for (const auto& [name, value] : d.stats) {
+    std::printf("  %-28s %20llu\n", name.c_str(), static_cast<unsigned long long>(value));
+  }
+  std::printf("\n-- amplification --\n");
+  if (user != 0) {
+    std::printf("  CLI (xpbuffer/user)  %8.3f\n",
+                static_cast<double>(xpb) / static_cast<double>(user));
+    std::printf("  XBI (media/user)     %8.3f\n",
+                static_cast<double>(media) / static_cast<double>(user));
+  } else {
+    std::printf("  (no user bytes recorded; read-only run?)\n");
+  }
+  if (!d.tags.empty()) {
+    std::printf("\n-- media writes by stream tag (address range) --\n");
+    uint64_t total = 0;
+    for (const TagRow& row : d.tags) {
+      total += row.writes;
+    }
+    for (const TagRow& row : d.tags) {
+      double pct = total == 0 ? 0.0
+                              : 100.0 * static_cast<double>(row.writes) /
+                                    static_cast<double>(total);
+      std::printf("  %-12s %14llu  %6.2f%%\n", row.name.c_str(),
+                  static_cast<unsigned long long>(row.writes), pct);
+    }
+  }
+  if (!d.comps.empty()) {
+    std::printf("\n-- media write bytes by component (code scope) --\n");
+    uint64_t comp_total = 0;
+    for (const CompRow& row : d.comps) {
+      comp_total += row.media_bytes;
+    }
+    for (const CompRow& row : d.comps) {
+      if (row.media_bytes == 0 && row.committed_lines == 0) {
+        continue;
+      }
+      double pct = media == 0 ? 0.0
+                              : 100.0 * static_cast<double>(row.media_bytes) /
+                                    static_cast<double>(media);
+      std::printf("  %-12s %14llu  %6.2f%%   (%s, %llu committed lines)\n",
+                  row.name.c_str(), static_cast<unsigned long long>(row.media_bytes), pct,
+                  HumanBytes(row.media_bytes).c_str(),
+                  static_cast<unsigned long long>(row.committed_lines));
+    }
+    std::printf("  %-12s %14llu  %s\n", "total", static_cast<unsigned long long>(comp_total),
+                comp_total == media ? "(= media_write_bytes)" : "(!= media_write_bytes)");
+    if (comp_total != media) {
+      std::fprintf(stderr,
+                   "pmctl: WARNING: component attribution (%llu) does not sum to "
+                   "media_write_bytes (%llu)\n",
+                   static_cast<unsigned long long>(comp_total),
+                   static_cast<unsigned long long>(media));
+      return 2;
+    }
+  }
+  return 0;
+}
+
+int CmdWatch(const Dump& d) {
+  if (d.samples.empty()) {
+    std::printf("(no timeline samples in dump; sequential-scheduler runs only)\n");
+    return 0;
+  }
+  std::printf("%10s %12s %10s %12s %12s %10s %10s\n", "t_ms", "ops", "Mops", "media_MB/s",
+              "xpbuf_MB/s", "flush/op", "fence/op");
+  Sample prev;
+  for (const Sample& s : d.samples) {
+    uint64_t dt = s.t_ns - prev.t_ns;
+    uint64_t dops = s.ops - prev.ops;
+    double dt_s = static_cast<double>(dt) / 1e9;
+    double mops = dt == 0 ? 0.0 : static_cast<double>(dops) / 1e6 / dt_s;
+    double media_mbs =
+        dt == 0 ? 0.0
+                : static_cast<double>(s.media_write_bytes - prev.media_write_bytes) / 1e6 / dt_s;
+    double xpb_mbs =
+        dt == 0 ? 0.0
+                : static_cast<double>(s.xpbuffer_write_bytes - prev.xpbuffer_write_bytes) /
+                      1e6 / dt_s;
+    double fpo = dops == 0 ? 0.0
+                           : static_cast<double>(s.line_flushes - prev.line_flushes) /
+                                 static_cast<double>(dops);
+    double fepo = dops == 0 ? 0.0
+                            : static_cast<double>(s.fences - prev.fences) /
+                                  static_cast<double>(dops);
+    std::printf("%10.2f %12llu %10.3f %12.1f %12.1f %10.2f %10.2f\n",
+                static_cast<double>(s.t_ns) / 1e6, static_cast<unsigned long long>(s.ops),
+                mops, media_mbs, xpb_mbs, fpo, fepo);
+    prev = s;
+  }
+  return 0;
+}
+
+int CmdHeatmap(const Dump& d, int columns) {
+  if (d.heat_units == 0 || d.heat_per_bin == 0) {
+    std::printf("(no heatmap in dump; run under CCL_TRACE with a driver that enables "
+                "record_unit_heatmap)\n");
+    return 0;
+  }
+  // Reconstitute the dense bin vector (the dump omits empty bins).
+  size_t num_bins = static_cast<size_t>((d.heat_units + d.heat_per_bin - 1) / d.heat_per_bin);
+  std::vector<trace::HeatBin> bins(num_bins);
+  for (size_t i = 0; i < num_bins; i++) {
+    bins[i].first_unit = static_cast<uint64_t>(i) * d.heat_per_bin;
+    bins[i].units = std::min<uint64_t>(d.heat_per_bin, d.heat_units - bins[i].first_unit);
+  }
+  uint64_t total_writes = 0;
+  trace::HeatBin hottest;
+  for (const trace::HeatBin& bin : d.heat_bins) {
+    size_t idx = static_cast<size_t>(bin.first_unit / d.heat_per_bin);
+    if (idx >= num_bins) {
+      continue;
+    }
+    bins[idx].writes = bin.writes;
+    bins[idx].hottest_unit = bin.hottest_unit;
+    bins[idx].hottest_writes = bin.hottest_writes;
+    total_writes += bin.writes;
+    if (bin.hottest_writes > hottest.hottest_writes) {
+      hottest = bin;
+    }
+  }
+  std::printf("run %s: %llu media writes over %llu XPLines (%llu XPLines/bin)\n",
+              d.label.c_str(), static_cast<unsigned long long>(total_writes),
+              static_cast<unsigned long long>(d.heat_units),
+              static_cast<unsigned long long>(d.heat_per_bin));
+  trace::RenderHeatmap(std::cout, bins, columns);
+  if (hottest.hottest_writes > 0) {
+    std::printf("hottest XPLine: unit %llu with %llu writes\n",
+                static_cast<unsigned long long>(hottest.hottest_unit),
+                static_cast<unsigned long long>(hottest.hottest_writes));
+  }
+  return 0;
+}
+
+int CmdTrace(const Dump& d, const std::string& out_path) {
+  if (d.rings.empty()) {
+    std::cerr << "pmctl: no trace rings in dump\n";
+    return 1;
+  }
+  uint64_t total = 0, retained = 0;
+  for (const trace::NamedRing& ring : d.rings) {
+    total += ring.emitted;
+    retained += ring.events.size();
+  }
+  std::cerr << "pmctl: " << d.rings.size() << " worker rings, " << retained << "/" << total
+            << " events retained\n";
+  if (out_path.empty() || out_path == "-") {
+    trace::ExportChromeTraceJson(std::cout, d.rings, d.label);
+    return 0;
+  }
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "pmctl: cannot write " << out_path << "\n";
+    return 1;
+  }
+  trace::ExportChromeTraceJson(out, d.rings, d.label);
+  out.flush();
+  if (!out) {
+    std::cerr << "pmctl: write to " << out_path << " failed\n";
+    return 1;
+  }
+  std::cerr << "pmctl: wrote " << out_path << " (load in Perfetto / chrome://tracing)\n";
+  return 0;
+}
+
+int Usage() {
+  std::cerr
+      << "usage: pmctl <stats|watch|heatmap|trace> <dump.pmtrace> [options]\n"
+         "  stats   <dump>              counters, amplification, per-component breakdown\n"
+         "  watch   <dump>              stats timeline as per-interval rates\n"
+         "  heatmap <dump> [--cols N]   ASCII XPLine write heatmap (default 64 cols)\n"
+         "  trace   <dump> [-o f.json]  Chrome trace JSON to f.json (default stdout)\n"
+         "Produce dumps by running any bench with CCL_TRACE=<path-prefix>.\n";
+  return 64;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 3) {
+    return Usage();
+  }
+  std::string cmd = argv[1];
+  std::string path = argv[2];
+  Dump d;
+  if (!ParseDump(path, d)) {
+    return 1;
+  }
+  if (cmd == "stats") {
+    return CmdStats(d);
+  }
+  if (cmd == "watch") {
+    return CmdWatch(d);
+  }
+  if (cmd == "heatmap") {
+    int columns = 64;
+    for (int i = 3; i + 1 < argc; i++) {
+      if (std::strcmp(argv[i], "--cols") == 0) {
+        columns = std::atoi(argv[i + 1]);
+      }
+    }
+    if (columns <= 0) {
+      return Usage();
+    }
+    return CmdHeatmap(d, columns);
+  }
+  if (cmd == "trace") {
+    std::string out_path;
+    for (int i = 3; i + 1 < argc; i++) {
+      if (std::strcmp(argv[i], "-o") == 0) {
+        out_path = argv[i + 1];
+      }
+    }
+    return CmdTrace(d, out_path);
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace cclbt::pmctl
+
+int main(int argc, char** argv) { return cclbt::pmctl::Main(argc, argv); }

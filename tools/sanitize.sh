@@ -4,16 +4,36 @@
 # TSan is the check that the "allocation-free, contention-free" fast paths
 # stayed data-race-free.
 #
-# Usage: tools/sanitize.sh [tsan|asan]   (default: both)
+# Usage: tools/sanitize.sh [tsan|asan] [ctest-regex]   (default: both, all tests)
+#
+# With a regex, only matching tests are built (test target names equal test
+# names) and run — tools/ci.sh uses this to sanitize the pmsim + trace
+# subset without paying for a full instrumented build of every bench.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+FILTER="${2:-}"
 
 run_one() {
   local kind="$1"
   local dir="build-${kind}"
   echo "=== ${kind}: configure + build ==="
   cmake -B "${dir}" -S . -DSANITIZE="${kind}" >/dev/null
-  cmake --build "${dir}" -j"$(nproc)"
+  if [ -n "${FILTER}" ]; then
+    # Build only the matching test targets (repro_test names the target after
+    # the test), not the whole tree.
+    local targets
+    targets=$(ctest --test-dir "${dir}" -N -R "${FILTER}" |
+              sed -n 's/^ *Test #[0-9]*: //p')
+    if [ -z "${targets}" ]; then
+      echo "no tests match regex '${FILTER}'" >&2
+      exit 2
+    fi
+    # shellcheck disable=SC2086
+    cmake --build "${dir}" -j"$(nproc)" --target ${targets}
+  else
+    cmake --build "${dir}" -j"$(nproc)"
+  fi
   echo "=== ${kind}: ctest ==="
   # Fail on any sanitizer report, not just test assertion failures. The
   # suppression file covers one known pre-existing optimistic-read race in
@@ -21,7 +41,7 @@ run_one() {
   TSAN_OPTIONS="halt_on_error=1:suppressions=$(pwd)/tools/tsan.supp" \
   ASAN_OPTIONS="detect_leaks=0:halt_on_error=1" \
   UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
-    ctest --test-dir "${dir}" --output-on-failure
+    ctest --test-dir "${dir}" --output-on-failure ${FILTER:+-R "${FILTER}"}
   echo "=== ${kind}: OK ==="
 }
 
@@ -33,7 +53,7 @@ case "${1:-all}" in
     run_one asan
     ;;
   *)
-    echo "usage: $0 [tsan|asan]" >&2
+    echo "usage: $0 [tsan|asan] [ctest-regex]" >&2
     exit 2
     ;;
 esac

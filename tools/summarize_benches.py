@@ -2,13 +2,22 @@
 """Summarize bench_output.txt into per-experiment tables.
 
 Usage: tools/summarize_benches.py [bench_output.txt]
+       tools/summarize_benches.py --check FILE.json [FILE.json ...]
 
-Parses google-benchmark console rows of the form
+Default mode parses google-benchmark console rows of the form
     fig10/insert/cclbtree/threads:48/iterations:1  ... Mops=6.97 XBI=8.99 ...
 and prints one aligned table per experiment prefix (fig02, fig03, ...,
 tab1-3, extra_*), with the counters as columns. The fig14 GC timeline is
 passed through verbatim.
+
+--check validates machine-readable BENCH_*.json files (used by
+run_benches.sh to refuse partial/corrupt results): each file must be either
+google-benchmark JSON ("context" + non-empty "benchmarks", every entry
+named) or the bench_pmsim_hotpath schema ("bench": "pmsim_hotpath" +
+non-empty "scenarios" with the expected numeric fields). Exits non-zero on
+the first invalid file.
 """
+import json
 import re
 import sys
 from collections import defaultdict
@@ -29,7 +38,54 @@ def parse_value(text: str) -> float:
         return float("nan")
 
 
+def check_file(path: str) -> str | None:
+    """Returns an error string if the file is not a valid results JSON."""
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        return f"unreadable or malformed JSON: {exc}"
+    if not isinstance(data, dict):
+        return "top-level value is not an object"
+    if data.get("bench") == "pmsim_hotpath":
+        scenarios = data.get("scenarios")
+        if not isinstance(scenarios, list) or not scenarios:
+            return "pmsim_hotpath schema: missing/empty 'scenarios'"
+        required = ("name", "threads", "ops", "wall_ms", "mops_wall",
+                    "heap_allocs_measured")
+        for i, row in enumerate(scenarios):
+            if not isinstance(row, dict):
+                return f"scenario #{i} is not an object"
+            missing = [key for key in required if key not in row]
+            if missing:
+                return f"scenario #{i} missing fields: {', '.join(missing)}"
+        return None
+    if "context" in data:
+        benchmarks = data.get("benchmarks")
+        if not isinstance(benchmarks, list) or not benchmarks:
+            return "google-benchmark schema: missing/empty 'benchmarks'"
+        for i, row in enumerate(benchmarks):
+            if not isinstance(row, dict) or "name" not in row:
+                return f"benchmark #{i} has no 'name'"
+        return None
+    return "unrecognized schema (neither google-benchmark nor pmsim_hotpath)"
+
+
+def run_check(paths: list[str]) -> int:
+    if not paths:
+        print("--check requires at least one file", file=sys.stderr)
+        return 2
+    for path in paths:
+        error = check_file(path)
+        if error is not None:
+            print(f"summarize_benches.py: {path}: {error}", file=sys.stderr)
+            return 1
+    return 0
+
+
 def main() -> int:
+    if len(sys.argv) > 1 and sys.argv[1] == "--check":
+        return run_check(sys.argv[2:])
     path = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
     experiments = defaultdict(list)  # prefix -> [(config, {counter: value})]
     gc_timeline = []
