@@ -36,10 +36,21 @@ void RegisterAll() {
             (void)ignored;
           }
           runtime.device().Crash();
+          std::string reopen_error;
+          if (!runtime.Reopen(&reopen_error)) {
+            state.SkipWithError(("reopen failed: " + reopen_error).c_str());
+            return;
+          }
           runtime.device().ResetCosts();
           auto wall0 = std::chrono::steady_clock::now();
-          auto tree = core::CclBTree::Recover(runtime, tree_options, threads);
+          IndexConfig index_config;
+          index_config.tree = tree_options;
+          auto tree = RecoverIndex("cclbtree", runtime, index_config, threads);
           auto wall1 = std::chrono::steady_clock::now();
+          if (tree == nullptr) {
+            state.SkipWithError("recovery failed");
+            return;
+          }
           // Modeled recovery time: serial rebuild walk + slowest replay
           // worker, floored by the outstanding media work.
           state.counters["recovery_ms"] =

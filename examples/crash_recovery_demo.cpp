@@ -7,6 +7,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <memory>
+#include <string>
 
 #include "src/common/rng.h"
 #include "src/core/ccl_btree.h"
@@ -53,8 +55,17 @@ int main(int argc, char** argv) {
   runtime.device().CrashTorn(seed ^ 0xdead);
   std::printf("power failure injected (torn unfenced cachelines)\n");
 
-  // Phase 3: recover and audit.
-  auto tree = core::CclBTree::Recover(runtime, options, /*recovery_threads=*/4);
+  // Phase 3: reattach to the surviving media, recover and audit.
+  std::string reopen_error;
+  if (!runtime.Reopen(&reopen_error)) {
+    std::printf("reopen failed: %s\n", reopen_error.c_str());
+    return 1;
+  }
+  auto tree = std::make_unique<core::CclBTree>(runtime, options, kvindex::Lifecycle::kAttach);
+  if (!tree->Recover(runtime, /*recovery_threads=*/4)) {
+    std::printf("recovery failed\n");
+    return 1;
+  }
   pmsim::ThreadContext ctx(runtime.device(), 0, 0);
   uint64_t lost = 0;
   uint64_t stale = 0;

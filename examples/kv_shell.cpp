@@ -90,7 +90,16 @@ int main() {
       ctx.reset();
       tree.reset();
       runtime.device().Crash();
-      tree = core::CclBTree::Recover(runtime, options);
+      std::string reopen_error;
+      if (!runtime.Reopen(&reopen_error)) {
+        std::printf("reopen failed: %s\n", reopen_error.c_str());
+        return 1;
+      }
+      tree = std::make_unique<core::CclBTree>(runtime, options, kvindex::Lifecycle::kAttach);
+      if (!tree->Recover(runtime, /*recovery_threads=*/1)) {
+        std::printf("recovery failed\n");
+        return 1;
+      }
       ctx = std::make_unique<pmsim::ThreadContext>(runtime.device(), 0, 0);
       std::printf("crashed and recovered.\n");
     } else if (!cmd.empty()) {

@@ -7,6 +7,8 @@
 //
 // Run: ./build/examples/paper_tour
 #include <cstdio>
+#include <memory>
+#include <string>
 
 #include "src/common/rng.h"
 #include "src/core/ccl_btree.h"
@@ -110,7 +112,16 @@ int main() {
     std::printf("\ncrash + recovery audit: ");
     Rng rng(1);  // replay the same key stream to know what must exist
     rt.device().Crash();
-    auto recovered = core::CclBTree::Recover(rt, opt);
+    std::string reopen_error;
+    if (!rt.Reopen(&reopen_error)) {
+      std::printf("reopen failed: %s\n", reopen_error.c_str());
+      return 1;
+    }
+    auto recovered = std::make_unique<core::CclBTree>(rt, opt, kvindex::Lifecycle::kAttach);
+    if (!recovered->Recover(rt, /*recovery_threads=*/1)) {
+      std::printf("recovery failed\n");
+      return 1;
+    }
     uint64_t missing = 0;
     for (uint64_t i = 0; i < kOps; i++) {
       uint64_t key = Mix64(rng.Next()) | 1;

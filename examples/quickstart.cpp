@@ -7,6 +7,8 @@
 //
 // Build & run:  ./build/examples/quickstart
 #include <cstdio>
+#include <memory>
+#include <string>
 
 #include "src/core/ccl_btree.h"
 
@@ -52,7 +54,18 @@ int main() {
   tree.reset();               // drop the DRAM state (like a process kill)
   runtime.device().Crash();   // power failure: unflushed stores are gone
 
-  auto recovered = core::CclBTree::Recover(runtime, options);
+  // Reattach to the surviving media (validates the pool superblock), then
+  // recover the tree from its persistent root.
+  std::string reopen_error;
+  if (!runtime.Reopen(&reopen_error)) {
+    std::printf("reopen failed: %s\n", reopen_error.c_str());
+    return 1;
+  }
+  auto recovered = std::make_unique<core::CclBTree>(runtime, options, kvindex::Lifecycle::kAttach);
+  if (!recovered->Recover(runtime, /*recovery_threads=*/1)) {
+    std::printf("recovery failed\n");
+    return 1;
+  }
   found = recovered->Lookup(2000, &value);
   std::printf("after crash+recovery: lookup(2000): found=%d value=%llu\n", found,
               (unsigned long long)value);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <unordered_set>
+#include <vector>
 
 #include "src/trace/trace.h"
 
@@ -33,8 +35,12 @@ struct FastFairTree::Node {
 
   uint64_t first_child() const { return entries[0].value; }
 };
-FastFairTree::FastFairTree(kvindex::Runtime& runtime) : rt_(runtime) {
+FastFairTree::FastFairTree(kvindex::Runtime& runtime, kvindex::Lifecycle lifecycle)
+    : rt_(runtime), lifecycle_(lifecycle) {
   static_assert(sizeof(Node) == kNodeBytes);
+  if (lifecycle_ == kvindex::Lifecycle::kAttach) {
+    return;  // binding to the persistent image is deferred to Recover()
+  }
   pmsim::ThreadContext boot_ctx(rt_.device(), 0, 0);
   pmem::SlabAllocator::Options slab_options;
   slab_options.slot_bytes = kNodeBytes;
@@ -42,9 +48,99 @@ FastFairTree::FastFairTree(kvindex::Runtime& runtime) : rt_(runtime) {
   node_slab_ = pmem::SlabAllocator::Create(rt_.pool(), slab_options);
   root_ = NewNode(/*level=*/0);
   pmsim::Persist(root_, kNodeBytes);
+  // The initial node is the leftmost leaf for the tree's whole lifetime, so
+  // its offset can serve as the persistent recovery chain head.
+  rt_.pool().SetAppRoot(kHeadLeafSlot, OffsetOf(root_));
+  rt_.pool().SetAppRoot(kSlabRegistrySlot, node_slab_->registry_offset());
 }
 
 FastFairTree::~FastFairTree() = default;
+
+bool FastFairTree::Recover(kvindex::Runtime& runtime, int /*recovery_threads*/) {
+  assert(&runtime == &rt_ && "Recover must use the runtime the tree was constructed with");
+  (void)runtime;
+  if (lifecycle_ != kvindex::Lifecycle::kAttach || recovered_) {
+    return false;
+  }
+  uint64_t head_offset = rt_.pool().GetAppRoot(kHeadLeafSlot);
+  uint64_t registry_offset = rt_.pool().GetAppRoot(kSlabRegistrySlot);
+  if (head_offset == 0 || registry_offset == 0) {
+    return false;  // no FAST&FAIR tree was ever created in this pool
+  }
+
+  pmsim::ThreadContext boot_ctx(rt_.device(), 0, 0);
+  uint64_t boot_start = boot_ctx.now_ns();
+  trace::TraceScope scope(trace::Component::kInner);
+
+  pmem::SlabAllocator::Options slab_options;
+  slab_options.slot_bytes = kNodeBytes;
+  slab_options.tag = pmsim::StreamTag::kLeaf;
+  node_slab_ = pmem::SlabAllocator::Open(rt_.pool(), registry_offset, slab_options);
+
+  // 1. Walk the persistent leaf chain: the leaves hold the entire dataset,
+  // and every completed operation fenced its leaf before returning. Leaves
+  // emptied by lazy deletion are unlinked (except the fixed head) so the
+  // rebuilt inner levels never route a key into them.
+  Node* head = NodeAt(head_offset);
+  pmsim::ReadPm(head, kNodeBytes);
+  std::vector<Node*> leaves{head};
+  std::unordered_set<const void*> live{head};
+  Node* prev = head;
+  Node* cur = head->next_offset == 0 ? nullptr : NodeAt(head->next_offset);
+  while (cur != nullptr) {
+    pmsim::ReadPm(cur, kNodeBytes);
+    Node* next = cur->next_offset == 0 ? nullptr : NodeAt(cur->next_offset);
+    if (cur->count == 0) {
+      prev->next_offset = cur->next_offset;
+      pmsim::FlushLine(prev);
+      pmsim::Fence();
+    } else {
+      leaves.push_back(cur);
+      live.insert(cur);
+      prev = cur;
+    }
+    cur = next;
+  }
+
+  // 2. Reclaim every slot not on the chain: the pre-crash inner nodes
+  // (rebuilt below), split siblings that persisted but were never linked,
+  // and the empty leaves just unlinked.
+  node_slab_->Recover([&live](const void* slot) { return live.count(slot) != 0; });
+  node_count_ = leaves.size();
+
+  // 3. Rebuild the inner levels bottom-up. Inner nodes are pure routing
+  // state derivable from the leaf chain; rebuilding them also repairs the
+  // mid-split states FAIR tolerates online (a right sibling already linked
+  // into its level whose separator never reached the parent).
+  std::vector<Node*> level = leaves;
+  while (level.size() > 1) {
+    std::vector<Node*> parents;
+    for (size_t i = 0; i < level.size(); i += kEntries) {
+      Node* parent = NewNode(level[i]->level + 1u);
+      auto take = static_cast<uint32_t>(std::min<size_t>(kEntries, level.size() - i));
+      parent->count = take;
+      for (uint32_t j = 0; j < take; j++) {
+        Node* child = level[i + j];
+        // entries[0].key of any node is its subtree's low bound: never
+        // compared during descent within the node itself, but it serves as
+        // the separator one level up.
+        parent->entries[j] = {child->entries[0].key, OffsetOf(child)};
+      }
+      if (!parents.empty()) {
+        parents.back()->next_offset = OffsetOf(parent);
+      }
+      parents.push_back(parent);
+    }
+    for (Node* parent : parents) {
+      pmsim::Persist(parent, kNodeBytes);
+    }
+    level = std::move(parents);
+  }
+  root_ = level[0];
+  last_recovery_modeled_ns_ = boot_ctx.now_ns() - boot_start;
+  recovered_ = true;
+  return true;
+}
 
 FastFairTree::Node* FastFairTree::NewNode(uint32_t level) {
   // The paper's setup pre-allocates from the local socket for all indexes;

@@ -26,7 +26,8 @@ namespace cclbt::baselines {
 
 class FastFairTree : public kvindex::KvIndex {
  public:
-  explicit FastFairTree(kvindex::Runtime& runtime);
+  explicit FastFairTree(kvindex::Runtime& runtime,
+                        kvindex::Lifecycle lifecycle = kvindex::Lifecycle::kCreate);
   ~FastFairTree() override;
 
   void Upsert(uint64_t key, uint64_t value) override;
@@ -36,8 +37,28 @@ class FastFairTree : public kvindex::KvIndex {
   const char* name() const override { return "FAST&FAIR"; }
   kvindex::MemoryFootprint Footprint() const override;
 
+  // --- persistence lifecycle (DESIGN.md §9) ----------------------------------
+  // The whole tree is PM-native and every completed operation fenced its leaf
+  // before returning, so after a clean crash the leaf chain holds the entire
+  // acked dataset; Recover() walks it and rebuilds the inner levels (pure
+  // routing state). Torn crashes are NOT tolerated: this implementation's
+  // count-based node header (a DESIGN.md §6 simplification over the
+  // original's NULL-terminated arrays) can persist a count line without its
+  // entry lines, breaking the sorted-node invariant — declared honestly.
+  bool recoverable() const override { return true; }
+  bool tolerates_torn_crash() const override { return false; }
+  bool Recover(kvindex::Runtime& runtime, int recovery_threads) override;
+  uint64_t last_recovery_modeled_ns() const override { return last_recovery_modeled_ns_; }
+
  private:
   struct Node;  // 256 B PM node, sorted entries
+
+  // Pool app-root slots (no separate root record: allocating one would shift
+  // every node address and change the bench metrics' DIMM interleaving).
+  // kHeadLeafSlot holds the leftmost leaf, which never moves — splits leave
+  // the left node in place and link new nodes to the right.
+  static constexpr int kHeadLeafSlot = 2;
+  static constexpr int kSlabRegistrySlot = 3;
 
   Node* NewNode(uint32_t level);
   Node* NodeAt(uint64_t offset) const;
@@ -49,8 +70,11 @@ class FastFairTree : public kvindex::KvIndex {
 
   kvindex::Runtime& rt_;
   std::unique_ptr<pmem::SlabAllocator> node_slab_;
-  Node* root_;
+  Node* root_ = nullptr;
   uint64_t node_count_ = 0;
+  kvindex::Lifecycle lifecycle_;
+  bool recovered_ = false;
+  uint64_t last_recovery_modeled_ns_ = 0;
   mutable std::shared_mutex mu_;
 };
 

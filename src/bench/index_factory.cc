@@ -56,6 +56,22 @@ std::unique_ptr<kvindex::KvIndex> MakeIndex(const std::string& name, kvindex::Ru
   std::abort();
 }
 
+std::unique_ptr<kvindex::KvIndex> RecoverIndex(const std::string& name, kvindex::Runtime& runtime,
+                                               const IndexConfig& config, int recovery_threads) {
+  std::unique_ptr<kvindex::KvIndex> index;
+  if (name == "cclbtree") {
+    index = std::make_unique<core::CclBTree>(runtime, config.tree, kvindex::Lifecycle::kAttach);
+  } else if (name == "fastfair") {
+    index = std::make_unique<baselines::FastFairTree>(runtime, kvindex::Lifecycle::kAttach);
+  } else {
+    return nullptr;  // declared not_recoverable
+  }
+  if (!index->Recover(runtime, recovery_threads)) {
+    return nullptr;
+  }
+  return index;
+}
+
 const std::vector<std::string>& TreeIndexNames() {
   static const std::vector<std::string> names = {"fptree",  "fastfair", "dptree", "utree",
                                                  "lbtree",  "pactree",  "cclbtree"};

@@ -23,6 +23,15 @@ struct IndexConfig {
 std::unique_ptr<kvindex::KvIndex> MakeIndex(const std::string& name, kvindex::Runtime& runtime,
                                             const IndexConfig& config = {});
 
+// Lifecycle counterpart of MakeIndex: attaches to the persistent state a
+// previous instance left on the runtime's (reopened) pool and runs
+// Recover(). Returns nullptr when the index declares itself not recoverable
+// or recovery fails (missing/invalid persistent root). Never fakes recovery
+// by reformatting.
+std::unique_ptr<kvindex::KvIndex> RecoverIndex(const std::string& name, kvindex::Runtime& runtime,
+                                               const IndexConfig& config = {},
+                                               int recovery_threads = 1);
+
 // The persistent B+-tree competitors of the paper's Figures 3-19
 // (everything except the log-structured stores of Table 3).
 const std::vector<std::string>& TreeIndexNames();

@@ -33,9 +33,15 @@ int FindSlotWithBitmap(const PmLeaf* leaf, uint64_t bitmap, uint64_t key) {
 
 }  // namespace
 
-CclBTree::CclBTree(kvindex::Runtime& runtime, const TreeOptions& options)
-    : rt_(runtime), options_(options) {
+CclBTree::CclBTree(kvindex::Runtime& runtime, const TreeOptions& options,
+                   kvindex::Lifecycle lifecycle)
+    : rt_(runtime), options_(options), lifecycle_(lifecycle) {
   assert(options_.nbatch >= 1 && options_.nbatch <= 6);
+  if (lifecycle_ == kvindex::Lifecycle::kAttach) {
+    // Binding to the persistent image is deferred to Recover(), which
+    // validates the root record instead of asserting on it.
+    return;
+  }
   pmsim::ThreadContext boot_ctx(rt_.device(), /*socket=*/0, /*worker_id=*/0);
 
   pmem::SlabAllocator::Options slab_options;
@@ -68,13 +74,24 @@ CclBTree::CclBTree(kvindex::Runtime& runtime, const TreeOptions& options)
   }
 }
 
-CclBTree::CclBTree(kvindex::Runtime& runtime, const TreeOptions& options, bool /*recover_tag*/)
-    : rt_(runtime), options_(options) {
-  assert(options_.nbatch >= 1 && options_.nbatch <= 6);
+bool CclBTree::Recover(kvindex::Runtime& runtime, int recovery_threads) {
+  assert(&runtime == &rt_ && "Recover must use the runtime the tree was constructed with");
+  (void)runtime;
+  if (lifecycle_ != kvindex::Lifecycle::kAttach || recovered_) {
+    return false;
+  }
   uint64_t root_offset = rt_.pool().GetAppRoot(kAppRootSlot);
-  assert(root_offset != 0 && "no tree to recover");
+  if (root_offset == 0) {
+    return false;  // the pool was never formatted with a tree
+  }
   auto* root = static_cast<TreeRoot*>(rt_.pool().ToAddr(root_offset));
-  assert(root->magic == kTreeMagic);
+  if (root->magic != kTreeMagic) {
+    return false;
+  }
+
+  pmsim::ThreadContext boot_ctx(rt_.device(), /*socket=*/0, /*worker_id=*/0);
+  uint64_t boot_start = boot_ctx.now_ns();
+  pmsim::ReadPm(root, sizeof(TreeRoot));
 
   pmem::SlabAllocator::Options slab_options;
   slab_options.slot_bytes = kLeafBytes;
@@ -83,26 +100,20 @@ CclBTree::CclBTree(kvindex::Runtime& runtime, const TreeOptions& options, bool /
   log_arena_ = pmem::LogArena::Open(rt_.pool(), root->arena_registry_offset);
   wals_ = std::make_unique<WalSet>(*log_arena_, options_.max_workers);
   head_leaf_ = LeafAt(root->head_leaf_offset);
-}
 
-std::unique_ptr<CclBTree> CclBTree::Recover(kvindex::Runtime& runtime, const TreeOptions& options,
-                                            int recovery_threads) {
-  auto tree = std::unique_ptr<CclBTree>(new CclBTree(runtime, options, /*recover_tag=*/true));
-  pmsim::ThreadContext boot_ctx(runtime.device(), /*socket=*/0, /*worker_id=*/0);
-  uint64_t boot_start = boot_ctx.now_ns();
-  tree->RebuildFromLeafList();
-  tree->ReplayLogs(recovery_threads);
-  tree->ResetLeafTimestamps();
+  RebuildFromLeafList();
+  ReplayLogs(recovery_threads);
+  ResetLeafTimestamps();
   // Modeled recovery duration: the serial work on this thread (leaf-list
   // walk, chunk reclaim, timestamp reset) plus the slowest replay worker.
-  tree->last_recovery_modeled_ns_.store(
-      boot_ctx.now_ns() - boot_start +
-          tree->replay_max_vtime_ns_.load(std::memory_order_relaxed),
+  last_recovery_modeled_ns_.store(
+      boot_ctx.now_ns() - boot_start + replay_max_vtime_ns_.load(std::memory_order_relaxed),
       std::memory_order_relaxed);
-  if (options.background_gc && options.gc_mode != GcMode::kNone) {
-    tree->gc_thread_ = std::thread([tree = tree.get()] { tree->GcThreadBody(); });
+  recovered_ = true;
+  if (options_.background_gc && options_.gc_mode != GcMode::kNone) {
+    gc_thread_ = std::thread([this] { GcThreadBody(); });
   }
-  return tree;
+  return true;
 }
 
 CclBTree::~CclBTree() {
@@ -348,7 +359,7 @@ void CclBTree::BatchInsertLeaf(BufferNode* bn, kvindex::KeyValue* kvs, int n, ui
   int free_slots = kLeafSlots - __builtin_popcountll(bitmap);
   if (need > free_slots) {
     // Logless split (§4.2), then dispatch the batch across the two halves.
-    BufferNode* right_bn = SplitLeaf(bn, ts);  // returned locked
+    BufferNode* right_bn = SplitLeaf(bn);  // returned locked
     uint64_t split_key = right_bn->sep();
     kvindex::KeyValue left_kvs[8];
     kvindex::KeyValue right_kvs[8];
@@ -440,7 +451,7 @@ void CclBTree::BatchInsertLeaf(BufferNode* bn, kvindex::KeyValue* kvs, int n, ui
   (void)header_changed;
 }
 
-BufferNode* CclBTree::SplitLeaf(BufferNode* bn, uint64_t ts) {
+BufferNode* CclBTree::SplitLeaf(BufferNode* bn) {
   trace::TraceScope scope(trace::Component::kLeaf);
   pmsim::ThreadContext* ctx = pmsim::ThreadContext::Current();
   PmLeaf* leaf = bn->leaf();
@@ -486,8 +497,13 @@ BufferNode* CclBTree::SplitLeaf(BufferNode* bn, uint64_t ts) {
   pmsim::Fence();
 
   // Atomically shrink the old leaf and link the new one: one 8 B meta store
-  // carries both the reduced bitmap and the new next pointer.
-  leaf->timestamp = ts;
+  // carries both the reduced bitmap and the new next pointer. The timestamp
+  // must NOT advance here: the split commit lands before the flush batch is
+  // dispatched into the two halves, and a crash in that window would leave a
+  // durable timestamp covering WAL entries that never reached a leaf —
+  // recovery replay would skip them (found by the crash-injection matrix).
+  // Each half's BatchInsertLeaf publishes the flush timestamp atomically
+  // with its own data commit instead.
   leaf->meta.store(MakeMeta(old_bitmap, LeafOffset(new_leaf)), std::memory_order_release);
   pmsim::FlushLine(leaf);
   pmsim::Fence();

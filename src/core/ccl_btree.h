@@ -30,14 +30,12 @@ namespace cclbt::core {
 
 class CclBTree : public kvindex::KvIndex {
  public:
-  // Formats a fresh tree in the runtime's pool.
-  CclBTree(kvindex::Runtime& runtime, const TreeOptions& options);
-  // Failure recovery (paper §3.3): rebuilds the DRAM layers from the
-  // persistent leaf list, replays WALs, resets leaf timestamps, reclaims
-  // unreachable leaves and log chunks. `recovery_threads` parallelizes the
-  // log scan/replay phase (paper Figure 17).
-  static std::unique_ptr<CclBTree> Recover(kvindex::Runtime& runtime, const TreeOptions& options,
-                                           int recovery_threads = 1);
+  // Formats a fresh tree in the runtime's pool (Lifecycle::kCreate), or
+  // binds to an existing persistent tree after Runtime::Reopen()
+  // (Lifecycle::kAttach) — an attached tree must complete Recover() before
+  // any operation.
+  CclBTree(kvindex::Runtime& runtime, const TreeOptions& options,
+           kvindex::Lifecycle lifecycle = kvindex::Lifecycle::kCreate);
 
   ~CclBTree() override;
 
@@ -52,6 +50,19 @@ class CclBTree : public kvindex::KvIndex {
   const char* name() const override { return "CCL-BTree"; }
   kvindex::MemoryFootprint Footprint() const override;
   void FlushAll() override;
+
+  // --- persistence lifecycle (paper §3.3, DESIGN.md §9) ----------------------
+  bool recoverable() const override { return true; }
+  // Torn fence groups are safe: WAL entries carry a generation^checksum tag
+  // that rejects partially persisted entries, and leaf batches persist data
+  // lines before the header line that publishes them.
+  bool tolerates_torn_crash() const override { return true; }
+  // Failure recovery: rebuilds the DRAM layers from the persistent leaf
+  // list, replays WALs, resets leaf timestamps, reclaims unreachable leaves
+  // and log chunks. `recovery_threads` parallelizes the log scan/replay
+  // phase (paper Figure 17). Only valid once, on a kAttach instance; returns
+  // false if the pool holds no valid tree root.
+  bool Recover(kvindex::Runtime& runtime, int recovery_threads) override;
 
   // --- GC (paper §3.4) -------------------------------------------------------
   // One full GC round in the caller's thread (benches drive this directly;
@@ -70,7 +81,7 @@ class CclBTree : public kvindex::KvIndex {
   uint64_t gc_rounds() const { return gc_rounds_.load(std::memory_order_relaxed); }
   // Modeled duration of the last Recover() call: serial rebuild walk plus
   // the slowest parallel replay worker (paper Figure 17).
-  uint64_t last_recovery_modeled_ns() const {
+  uint64_t last_recovery_modeled_ns() const override {
     return last_recovery_modeled_ns_.load(std::memory_order_relaxed);
   }
   const TreeOptions& options() const { return options_; }
@@ -93,8 +104,6 @@ class CclBTree : public kvindex::KvIndex {
   static constexpr uint64_t kTreeMagic = 0xCC1B7123ULL;
   static constexpr int kAppRootSlot = 0;
 
-  explicit CclBTree(kvindex::Runtime& runtime, const TreeOptions& options, bool recover_tag);
-
   // --- write path -------------------------------------------------------------
   void UpsertInternal(uint64_t key, uint64_t value);
   // Routes to the covering buffer node and acquires its version lock,
@@ -109,7 +118,7 @@ class CclBTree : public kvindex::KvIndex {
   void BatchInsertLeaf(BufferNode* bn, kvindex::KeyValue* kvs, int n, uint64_t ts,
                        bool update_ts = true);
   // Logless split (paper §4.2); returns the new right-hand buffer node.
-  BufferNode* SplitLeaf(BufferNode* bn, uint64_t ts);
+  BufferNode* SplitLeaf(BufferNode* bn);
   // Merge bn's underutilized leaf into its left sibling if possible
   // (paper §4.2). Called with bn *unlocked*; takes locks in key order.
   void TryMergeLeft(uint64_t sep);
@@ -135,6 +144,8 @@ class CclBTree : public kvindex::KvIndex {
 
   kvindex::Runtime& rt_;
   TreeOptions options_;
+  kvindex::Lifecycle lifecycle_;
+  bool recovered_ = false;
 
   std::unique_ptr<pmem::SlabAllocator> leaf_slab_;
   std::unique_ptr<pmem::LogArena> log_arena_;

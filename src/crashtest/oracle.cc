@@ -1,0 +1,103 @@
+#include "src/crashtest/oracle.h"
+
+#include <cstdio>
+
+#include "src/common/rng.h"
+
+namespace cclbt::crashtest {
+
+namespace {
+
+// Commutative fold so the digest is independent of map iteration order.
+uint64_t ObservationHash(uint64_t key, bool found, uint64_t value) {
+  uint64_t h = Mix64(key ^ 0x0b5e7a110e5ULL);
+  h = Mix64(h ^ (found ? value : 0xdeadULL));
+  return h;
+}
+
+void AddDiagnostic(DurabilityOracle::Report& report, int max_diagnostics, const char* kind,
+                   uint64_t key, bool found, uint64_t got, bool want_present, uint64_t want) {
+  if (static_cast<int>(report.diagnostics.size()) >= max_diagnostics) {
+    return;
+  }
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "%s: key=%llu observed=%s(0x%llx) acked=%s(0x%llx)", kind,
+                static_cast<unsigned long long>(key), found ? "present" : "absent",
+                static_cast<unsigned long long>(found ? got : 0),
+                want_present ? "present" : "absent", static_cast<unsigned long long>(want));
+  report.diagnostics.emplace_back(buf);
+}
+
+}  // namespace
+
+DurabilityOracle::Report DurabilityOracle::Verify(kvindex::KvIndex& index,
+                                                  int max_diagnostics) const {
+  Report report;
+  // Touched keys = keys with a write history, plus keys only ever removed.
+  std::unordered_set<uint64_t> touched;
+  for (const auto& [key, values] : written_) {
+    (void)values;
+    touched.insert(key);
+  }
+  for (const auto& [key, state] : acked_) {
+    (void)state;
+    touched.insert(key);
+  }
+  if (in_flight_.active) {
+    touched.insert(in_flight_.key);
+  }
+
+  for (uint64_t key : touched) {
+    report.keys_checked++;
+    uint64_t got = 0;
+    bool found = index.Lookup(key, &got);
+    report.observation_digest += ObservationHash(key, found, got);
+
+    auto acked_it = acked_.find(key);
+    bool want_present = acked_it != acked_.end() && acked_it->second.present;
+    uint64_t want = want_present ? acked_it->second.value : 0;
+    bool is_in_flight = in_flight_.active && in_flight_.key == key;
+
+    if (found) {
+      if (want_present && got == want) {
+        continue;  // exactly the acked state
+      }
+      if (is_in_flight && !in_flight_.remove && got == in_flight_.value) {
+        continue;  // the in-flight upsert applied (new state) — legal
+      }
+      auto written_it = written_.find(key);
+      bool ever_written = written_it != written_.end() && written_it->second.count(got) != 0;
+      if (ever_written) {
+        // A real value for this key, but not the latest acked one: either a
+        // lost update (acked state rolled back) or an acked remove that
+        // resurrected an earlier value.
+        if (want_present) {
+          report.stale++;
+          AddDiagnostic(report, max_diagnostics, "stale", key, found, got, want_present, want);
+        } else {
+          report.lost++;
+          AddDiagnostic(report, max_diagnostics, "resurrected", key, found, got, want_present,
+                        want);
+        }
+      } else {
+        report.garbage++;
+        AddDiagnostic(report, max_diagnostics, "garbage", key, found, got, want_present, want);
+      }
+      continue;
+    }
+
+    // Key absent from the recovered index.
+    if (!want_present) {
+      continue;  // acked-absent (or never acked) — consistent
+    }
+    if (is_in_flight && in_flight_.remove) {
+      continue;  // the in-flight remove applied (new state) — legal
+    }
+    report.lost++;
+    AddDiagnostic(report, max_diagnostics, "lost", key, found, got, want_present, want);
+  }
+  return report;
+}
+
+}  // namespace cclbt::crashtest

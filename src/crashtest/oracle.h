@@ -1,0 +1,93 @@
+// Durability oracle for crash injection (DESIGN.md §9).
+//
+// The oracle shadows a single-worker workload: before each index operation
+// the caller registers it as in-flight (StartUpsert/StartRemove); when the
+// call returns — meaning every fence the operation needed has executed, so
+// the ADR model guarantees its persistence — the caller promotes it to
+// acknowledged (AckLast). An injected crash leaves at most one operation
+// in flight.
+//
+// After crash + Runtime::Reopen + Recover, Verify() checks the recovered
+// index against the acked state, per touched key:
+//   * lost     — an acked KV is missing, or an acked remove resurrected an
+//                earlier value (durably-acked state must never be lost);
+//   * stale    — the key reads as some *earlier* acked/written value instead
+//                of the latest acked one (a lost update);
+//   * garbage  — the key reads as a value never written to it at all (the
+//                invariant torn lines must never break: old or new, never
+//                garbage);
+//   * the in-flight key may legally read as either its pre-crash acked state
+//     or the in-flight state (old-or-new).
+// A report with all three counters zero means the crash was survived.
+#ifndef SRC_CRASHTEST_ORACLE_H_
+#define SRC_CRASHTEST_ORACLE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/kvindex/kv_index.h"
+
+namespace cclbt::crashtest {
+
+class DurabilityOracle {
+ public:
+  void StartUpsert(uint64_t key, uint64_t value) {
+    in_flight_ = InFlight{true, false, key, value};
+    written_[key].insert(value);
+  }
+  void StartRemove(uint64_t key) { in_flight_ = InFlight{true, true, key, 0}; }
+  // The operation registered by the last Start* returned: it is durably
+  // acknowledged from here on.
+  void AckLast() {
+    if (!in_flight_.active) {
+      return;
+    }
+    KeyState& state = acked_[in_flight_.key];
+    state.present = !in_flight_.remove;
+    state.value = in_flight_.value;
+    in_flight_.active = false;
+  }
+
+  struct Report {
+    uint64_t keys_checked = 0;
+    uint64_t lost = 0;
+    uint64_t stale = 0;
+    uint64_t garbage = 0;
+    // Order-insensitive fold of (key, found, value) over every checked key;
+    // two runs of the same workload+crash point must produce the same value
+    // (the crash-matrix determinism check folds these).
+    uint64_t observation_digest = 0;
+    // Human-readable description of the first few failures.
+    std::vector<std::string> diagnostics;
+    bool ok() const { return lost == 0 && stale == 0 && garbage == 0; }
+  };
+
+  // Looks up every touched key in `index` (the caller must hold a live
+  // pmsim::ThreadContext) and classifies each observation.
+  Report Verify(kvindex::KvIndex& index, int max_diagnostics = 8) const;
+
+ private:
+  struct KeyState {
+    bool present = false;
+    uint64_t value = 0;
+  };
+  struct InFlight {
+    bool active = false;
+    bool remove = false;
+    uint64_t key = 0;
+    uint64_t value = 0;
+  };
+
+  std::unordered_map<uint64_t, KeyState> acked_;
+  // Every value ever written per key, acked or not: distinguishes stale
+  // reads (lost updates) from outright garbage.
+  std::unordered_map<uint64_t, std::unordered_set<uint64_t>> written_;
+  InFlight in_flight_;
+};
+
+}  // namespace cclbt::crashtest
+
+#endif  // SRC_CRASHTEST_ORACLE_H_

@@ -13,6 +13,14 @@
 
 namespace cclbt::kvindex {
 
+class Runtime;
+
+// Persistence lifecycle of an index instance (DESIGN.md §9). kCreate formats
+// fresh persistent state; kAttach binds to state that already exists on the
+// device (after Runtime::Reopen) and requires a successful Recover() before
+// any operation.
+enum class Lifecycle { kCreate, kAttach };
+
 struct KeyValue {
   uint64_t key;
   uint64_t value;
@@ -49,6 +57,29 @@ class KvIndex {
   // Hook called once after warm-up so indexes with deferred work (e.g.
   // DPTree's buffer merge) can reach a steady state before measurement.
   virtual void FlushAll() {}
+
+  // --- persistence lifecycle (DESIGN.md §9) --------------------------------
+  // An index is `recoverable` when it can be constructed with
+  // Lifecycle::kAttach after Runtime::Reopen() and rebuild its DRAM state
+  // from the surviving media via Recover(). Baselines whose layout cannot
+  // support this declare it honestly (the default) and are skipped — never
+  // faked — by crash tooling.
+  virtual bool recoverable() const { return false; }
+  // True when recovery additionally tolerates torn fence groups
+  // (PmDevice::CrashTorn): any half-persisted line must read as old or new
+  // state, never act as garbage (e.g. CCL-BTree's checksum-tagged WAL
+  // entries). Recoverable-but-not-torn-tolerant is a valid honest answer.
+  virtual bool tolerates_torn_crash() const { return false; }
+  // Rebuilds DRAM state from the persistent image. Only meaningful on a
+  // kAttach instance; returns false if the index is not recoverable, was not
+  // attach-constructed, or the persistent root is missing/invalid.
+  virtual bool Recover(Runtime& runtime, int recovery_threads) {
+    (void)runtime;
+    (void)recovery_threads;
+    return false;
+  }
+  // Modeled virtual-time cost of the last successful Recover() (Fig. 17).
+  virtual uint64_t last_recovery_modeled_ns() const { return 0; }
 };
 
 }  // namespace cclbt::kvindex

@@ -5,6 +5,7 @@
 #define SRC_KVINDEX_RUNTIME_H_
 
 #include <memory>
+#include <string>
 
 #include "src/common/ordo.h"
 #include "src/pmem/log_arena.h"
@@ -32,6 +33,30 @@ class Runtime {
 
   Runtime(const Runtime&) = delete;
   Runtime& operator=(const Runtime&) = delete;
+
+  // Simulated machine restart: re-attaches to the surviving device media via
+  // PmPool::Open (superblock validation included) instead of reformatting.
+  // Typically called after PmDevice::Crash()/CrashTorn(). On validation
+  // failure returns false, fills `error_out` with the structured diagnostic
+  // message, and leaves the previous pool/value-store handles in place.
+  bool Reopen(std::string* error_out = nullptr) {
+    pmsim::ThreadContext boot_ctx(device_, /*socket=*/0);
+    pmem::PoolOpenError error;
+    auto pool = pmem::PmPool::Open(device_, &error);
+    if (pool == nullptr) {
+      if (error_out != nullptr) {
+        *error_out = error.message;
+      }
+      return false;
+    }
+    pool_ = std::move(pool);
+    // The value store's volatile region cursors restart; blobs referenced by
+    // surviving indirection handles stay readable through pool offsets, at
+    // the cost of leaking the unused remainder of pre-crash regions (bounded
+    // by one region per socket per restart).
+    values_ = std::make_unique<pmem::ValueStore>(*pool_);
+    return true;
+  }
 
   pmsim::PmDevice& device() { return device_; }
   pmem::PmPool& pool() { return *pool_; }

@@ -12,30 +12,60 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 
 #include "src/pmsim/device.h"
 
 namespace cclbt::pmem {
 
 inline constexpr uint64_t kPoolMagic = 0xCC1B7EEE2024ULL;
+inline constexpr uint64_t kPoolFormatVersion = 1;
 inline constexpr int kMaxSockets = 8;
 inline constexpr int kNumAppRoots = 8;
 inline constexpr size_t kSuperblockBytes = 4096;
 
 // Persistent pool header (lives at device offset 0).
+//
+// Crash-safety of the validation split: the checksum covers only the fields
+// written once at format time (magic/version/geometry). The mutable fields
+// (bump_offset, app_root) are each updated with a single 8-byte persist and
+// rely on cacheline write atomicity; folding them into a checksum would
+// falsely report corruption after any crash between a field persist and the
+// checksum persist. They are instead sanity-checked structurally on Open.
 struct PoolRoot {
   uint64_t magic;
+  uint64_t format_version;
+  uint64_t pool_bytes;       // geometry recorded at format time
+  uint64_t num_sockets;
+  uint64_t header_checksum;  // Mix64 fold of the four fields above
   uint64_t bump_offset[kMaxSockets];  // next free offset per socket region
   uint64_t app_root[kNumAppRoots];    // application-owned offsets (0 == unset)
 };
 static_assert(sizeof(PoolRoot) <= kSuperblockBytes);
 
+// Structured diagnostic from PmPool::Open superblock validation. `message`
+// is human-readable and safe to surface directly (Runtime::Reopen does).
+struct PoolOpenError {
+  enum class Code {
+    kNone,
+    kBadMagic,          // not a formatted pool (or magic corrupted)
+    kBadVersion,        // formatted by an incompatible layout version
+    kBadChecksum,       // immutable header fields corrupted
+    kGeometryMismatch,  // device geometry differs from format-time geometry
+    kCorruptBump,       // a bump pointer points outside its socket region
+  };
+  Code code = Code::kNone;
+  std::string message;
+};
+
 class PmPool {
  public:
   // Formats a fresh pool (Create) or attaches to an existing one (Open —
-  // used by recovery paths to simulate a post-restart re-open).
+  // used by recovery paths to simulate a post-restart re-open). Open
+  // validates the superblock; on failure it returns nullptr and, when
+  // `error` is non-null, fills in the structured diagnostic.
   static std::unique_ptr<PmPool> Create(pmsim::PmDevice& device);
-  static std::unique_ptr<PmPool> Open(pmsim::PmDevice& device);
+  static std::unique_ptr<PmPool> Open(pmsim::PmDevice& device, PoolOpenError* error = nullptr);
 
   PmPool(const PmPool&) = delete;
   PmPool& operator=(const PmPool&) = delete;

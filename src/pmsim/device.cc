@@ -182,6 +182,12 @@ void PmDevice::FlushLine(ThreadContext& ctx, const void* addr) {
 
 void PmDevice::Fence(ThreadContext& ctx) {
   ctx.stats_shard().AddFence();
+  if (injector_ != nullptr) {
+    // May throw CrashPointReached *before* the commit loop below: power is
+    // lost at the sfence, so ctx's pending lines stay uncommitted for
+    // Crash()/CrashTorn() to drop or tear.
+    injector_->OnFence();
+  }
   if (config_.eadr) {
     trace::Emit(trace::EventType::kFence, 0);
     return;  // No ordering cost modeled in eADR mode.
@@ -404,12 +410,15 @@ void PmDevice::DrainBuffers() {
 
 void PmDevice::Crash() {
   assert(shadow_.data != nullptr && "Crash() requires crash_tracking");
+  uint64_t lines_dropped = 0;
   {
     std::lock_guard<std::mutex> guard(contexts_mu_);
     for (ThreadContext* ctx : contexts_) {
+      lines_dropped += ctx->pending_lines_.size();
       ctx->ClearPending();
     }
   }
+  stats_.AddCrash(lines_dropped, /*torn_lines_applied=*/0);
   std::memcpy(pool_.get(), shadow_.get(), config_.pool_bytes);
   // Fresh boot: the XPBuffer is power-protected, so its content already lives
   // in the shadow image; the model itself restarts cold.
@@ -421,17 +430,23 @@ void PmDevice::Crash() {
 void PmDevice::CrashTorn(uint64_t seed) {
   assert(shadow_.data != nullptr && "CrashTorn() requires crash_tracking");
   Rng rng(seed);
+  uint64_t lines_dropped = 0;
+  uint64_t torn_lines_applied = 0;
   {
     std::lock_guard<std::mutex> guard(contexts_mu_);
     for (ThreadContext* ctx : contexts_) {
       for (uintptr_t line : ctx->pending_lines_) {
         if ((rng.Next() & 1) != 0) {
           std::memcpy(shadow_.get() + line, pool_.get() + line, kCachelineBytes);
+          torn_lines_applied++;
+        } else {
+          lines_dropped++;
         }
       }
       ctx->ClearPending();
     }
   }
+  stats_.AddCrash(lines_dropped, torn_lines_applied);
   std::memcpy(pool_.get(), shadow_.get(), config_.pool_bytes);
   for (auto& xpbuffer : xpbuffers_) {
     xpbuffer->Drain([](bool, StreamTag, trace::Component, uint64_t) {});

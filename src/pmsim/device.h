@@ -25,6 +25,7 @@
 
 #include "src/common/rng.h"
 #include "src/pmsim/config.h"
+#include "src/pmsim/crash_injector.h"
 #include "src/pmsim/stats.h"
 #include "src/pmsim/thread_context.h"
 #include "src/pmsim/xpbuffer.h"
@@ -107,6 +108,15 @@ class PmDevice {
   // probability 1/2 (clwb without sfence *may* reach the DIMM). Exercises
   // recovery under torn fence groups.
   void CrashTorn(uint64_t seed);
+
+  // Installs (or with nullptr removes) a crash-injection policy: every fence
+  // reports to the injector before committing, which may throw
+  // CrashPointReached at a scheduled fence count. The caller owns the
+  // injector and must uninstall it before destroying it. Disarmed cost is
+  // one pointer test per fence; with no injector installed the fence path is
+  // unchanged.
+  void SetCrashInjector(CrashInjector* injector) { injector_ = injector; }
+  CrashInjector* crash_injector() const { return injector_; }
 
   // Largest virtual completion time across DIMM write servers; a run's
   // modeled elapsed time is max(worker clocks, this).
@@ -202,6 +212,7 @@ class PmDevice {
   Mapping pool_;
   Mapping shadow_;
   Stats stats_;
+  CrashInjector* injector_ = nullptr;
   std::vector<std::unique_ptr<XpBuffer>> xpbuffers_;  // one per DIMM
   // One virtual write-server timeline per DIMM, cacheline-padded against
   // false sharing and stored contiguously. Plain (non-atomic) because every

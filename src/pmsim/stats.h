@@ -47,6 +47,9 @@ namespace cclbt::pmsim {
   S(remote_accesses)                                                        \
   S(pm_reads)                                                               \
   S(pm_read_hits)                                                           \
+  S(crashes_injected)                                                       \
+  S(crash_lines_dropped)                                                    \
+  S(crash_torn_lines_applied)                                               \
   A(media_writes_by_tag, static_cast<int>(::cclbt::pmsim::StreamTag::kCount)) \
   A(media_write_bytes_by_component, ::cclbt::trace::kNumComponents)         \
   A(committed_lines_by_component, ::cclbt::trace::kNumComponents)
@@ -227,6 +230,13 @@ class Stats {
     if (hit) {
       base_.pm_read_hits.fetch_add(1, std::memory_order_relaxed);
     }
+  }
+  // One crash event (PmDevice::Crash/CrashTorn): `lines_dropped` pending
+  // lines vanished, `torn_lines_applied` pending lines persisted anyway.
+  void AddCrash(uint64_t lines_dropped, uint64_t torn_lines_applied) {
+    base_.crashes_injected.fetch_add(1, std::memory_order_relaxed);
+    base_.crash_lines_dropped.fetch_add(lines_dropped, std::memory_order_relaxed);
+    base_.crash_torn_lines_applied.fetch_add(torn_lines_applied, std::memory_order_relaxed);
   }
 
   // Registers a live single-writer shard to be included in Snapshot().

@@ -11,6 +11,7 @@
 
 #include "src/common/rng.h"
 #include "src/core/ccl_btree.h"
+#include "tests/crash_util.h"
 
 namespace cclbt::core {
 namespace {
@@ -493,8 +494,7 @@ TEST_P(CclCrashTest, AllCompletedUpsertsSurviveCrash) {
       model[key] = value;
     }
   }
-  rt->device().Crash();
-  auto tree = CclBTree::Recover(*rt, options);
+  auto tree = testutil::CrashAndRecoverTree(*rt, options);
   pmsim::ThreadContext ctx(rt->device(), 0, 0);
   for (const auto& [key, value] : model) {
     uint64_t got = 0;
@@ -521,8 +521,7 @@ TEST(CclRecovery, DeletesSurviveCrash) {
       tree.Remove(k);  // tombstones, many still buffered at crash time
     }
   }
-  rt->device().Crash();
-  auto tree = CclBTree::Recover(*rt, options);
+  auto tree = testutil::CrashAndRecoverTree(*rt, options);
   pmsim::ThreadContext ctx(rt->device(), 0, 0);
   for (uint64_t k = 1; k <= 1000; k++) {
     uint64_t value = 0;
@@ -553,8 +552,7 @@ TEST(CclRecovery, CrashAfterGcLosesNothing) {
       model[key] = value;
     }
   }
-  rt->device().Crash();
-  auto tree = CclBTree::Recover(*rt, options);
+  auto tree = testutil::CrashAndRecoverTree(*rt, options);
   pmsim::ThreadContext ctx(rt->device(), 0, 0);
   for (const auto& [key, value] : model) {
     uint64_t got = 0;
@@ -580,8 +578,7 @@ TEST(CclRecovery, ParallelRecoveryMatchesSerial) {
         model[key] = value;
       }
     }
-    rt->device().Crash();
-    auto tree = CclBTree::Recover(*rt, options, recovery_threads);
+    auto tree = testutil::CrashAndRecoverTree(*rt, options, recovery_threads);
     pmsim::ThreadContext ctx(rt->device(), 0, 0);
     std::map<uint64_t, uint64_t> result;
     for (const auto& [key, value] : model) {
@@ -609,17 +606,15 @@ TEST(CclRecovery, DoubleCrashDuringOperationIsSafe) {
       model[k] = k;
     }
   }
-  rt->device().Crash();
   {
-    auto tree = CclBTree::Recover(*rt, options);
+    auto tree = testutil::CrashAndRecoverTree(*rt, options);
     pmsim::ThreadContext ctx(rt->device(), 0, 0);
     for (uint64_t k = 5001; k <= 6000; k++) {
       tree->Upsert(k, k);
       model[k] = k;
     }
   }
-  rt->device().Crash();
-  auto tree = CclBTree::Recover(*rt, options);
+  auto tree = testutil::CrashAndRecoverTree(*rt, options);
   pmsim::ThreadContext ctx(rt->device(), 0, 0);
   for (const auto& [key, value] : model) {
     uint64_t got = 0;
@@ -639,8 +634,7 @@ TEST(CclRecovery, RecoveredTreeAcceptsNewWritesAndScans) {
       tree.Upsert(k * 2, k);
     }
   }
-  rt->device().Crash();
-  auto tree = CclBTree::Recover(*rt, options);
+  auto tree = testutil::CrashAndRecoverTree(*rt, options);
   pmsim::ThreadContext ctx(rt->device(), 0, 0);
   for (uint64_t k = 1; k <= 2000; k++) {
     tree->Upsert(k * 2 + 1, k);  // interleave odd keys
@@ -673,8 +667,8 @@ TEST(CclRecovery, TornCrashIsRecoverable) {
       model[key] = value;
     }
   }
-  rt->device().CrashTorn(1234);
-  auto tree = CclBTree::Recover(*rt, options);
+  auto tree = testutil::CrashAndRecoverTree(*rt, options, /*recovery_threads=*/1,
+                                            /*torn=*/true, /*torn_seed=*/1234);
   pmsim::ThreadContext ctx(rt->device(), 0, 0);
   for (const auto& [key, value] : model) {
     uint64_t got = 0;
@@ -697,8 +691,7 @@ TEST(CclAblation, BaseModeIsDurablePerOperation) {
       tree.Upsert(k, k + 7);
     }
   }
-  rt->device().Crash();
-  auto tree = CclBTree::Recover(*rt, options);
+  auto tree = testutil::CrashAndRecoverTree(*rt, options);
   pmsim::ThreadContext ctx(rt->device(), 0, 0);
   for (uint64_t k = 1; k <= 3000; k++) {
     uint64_t value = 0;

@@ -12,6 +12,7 @@
 
 #include "src/common/rng.h"
 #include "src/core/ccl_btree.h"
+#include "tests/crash_util.h"
 
 namespace cclbt::core {
 namespace {
@@ -81,9 +82,9 @@ TEST_P(CclFuzzTest, MixedOpsWithGcAndCrashesMatchModel) {
     if (i > 0 && i % 20'000 == 0) {
       ctx.reset();
       tree.reset();
-      runtime.device().CrashTorn(static_cast<uint64_t>(GetParam()) * 31 +
-                                 static_cast<uint64_t>(i));
-      tree = CclBTree::Recover(runtime, options, 1 + GetParam() % 3);
+      tree = testutil::CrashAndRecoverTree(
+          runtime, options, 1 + GetParam() % 3, /*torn=*/true,
+          /*torn_seed=*/static_cast<uint64_t>(GetParam()) * 31 + static_cast<uint64_t>(i));
       ctx = std::make_unique<pmsim::ThreadContext>(runtime.device(), 0, 0);
       ASSERT_TRUE(tree->CheckInvariants()) << "seed " << GetParam() << " after crash at " << i;
     }

@@ -8,6 +8,7 @@
 
 #include "src/common/rng.h"
 #include "src/core/ccl_hash.h"
+#include "tests/crash_util.h"
 
 namespace cclbt::core {
 namespace {
@@ -99,8 +100,7 @@ TEST(CclHash, CompletedUpsertsSurviveCrash) {
       model[key] = value;
     }
   }
-  rt->device().Crash();
-  auto table = CclHashTable::Recover(*rt, options);
+  auto table = testutil::CrashAndRecoverHash(*rt, options);
   pmsim::ThreadContext ctx(rt->device(), 0, 0);
   for (const auto& [key, value] : model) {
     uint64_t got = 0;
@@ -122,8 +122,7 @@ TEST(CclHash, DeletesSurviveCrash) {
       table.Remove(k);
     }
   }
-  rt->device().CrashTorn(99);
-  auto table = CclHashTable::Recover(*rt, options);
+  auto table = testutil::CrashAndRecoverHash(*rt, options, /*torn=*/true, /*torn_seed=*/99);
   pmsim::ThreadContext ctx(rt->device(), 0, 0);
   for (uint64_t k = 1; k <= 2000; k++) {
     uint64_t value = 0;
@@ -171,8 +170,7 @@ TEST(CclHash, CrashAfterGcLosesNothing) {
       model[key] = value;
     }
   }
-  rt->device().Crash();
-  auto table = CclHashTable::Recover(*rt, options);
+  auto table = testutil::CrashAndRecoverHash(*rt, options);
   pmsim::ThreadContext ctx(rt->device(), 0, 0);
   for (const auto& [key, value] : model) {
     uint64_t got = 0;

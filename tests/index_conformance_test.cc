@@ -186,6 +186,120 @@ TEST_P(IndexConformanceTest, ConcurrentMixedSmoke) {
   }
 }
 
+// --- crash/recovery conformance ---------------------------------------------------
+//
+// Gated on the Recoverable capability (DESIGN.md §9): indexes that declare
+// not_recoverable are skipped, not faked — recovery is never simulated by
+// reformatting and replaying.
+
+TEST_P(IndexConformanceTest, RecoveryCapabilityIsDeclaredHonestly) {
+  const bool expect_recoverable = GetParam() == "cclbtree" || GetParam() == "fastfair";
+  EXPECT_EQ(index_->recoverable(), expect_recoverable) << GetParam();
+  if (!index_->recoverable()) {
+    // Torn tolerance is meaningless without recoverability.
+    EXPECT_FALSE(index_->tolerates_torn_crash()) << GetParam();
+  }
+}
+
+TEST_P(IndexConformanceTest, CrashRecoveryRestoresAckedState) {
+  if (!index_->recoverable()) {
+    GTEST_SKIP() << GetParam() << " declares not_recoverable";
+  }
+  std::map<uint64_t, uint64_t> model;
+  Rng rng(31);
+  for (int i = 0; i < 15000; i++) {
+    uint64_t key = Mix64(rng.NextBounded(4000) + 1) | 1;
+    if (rng.NextBounded(10) < 8) {
+      uint64_t value = rng.Next() | 1;
+      index_->Upsert(key, value);
+      model[key] = value;
+    } else {
+      index_->Remove(key);
+      model.erase(key);
+    }
+  }
+  ctx_.reset();
+  index_.reset();
+  rt_->device().Crash();
+  std::string error;
+  ASSERT_TRUE(rt_->Reopen(&error)) << error;
+  IndexConfig config;
+  config.tree.background_gc = false;
+  index_ = RecoverIndex(GetParam(), *rt_, config);
+  ASSERT_NE(index_, nullptr) << GetParam() << " failed to recover";
+  ctx_ = std::make_unique<pmsim::ThreadContext>(rt_->device(), 0, 0);
+  for (uint64_t probe = 1; probe <= 4000; probe++) {
+    uint64_t key = Mix64(probe) | 1;
+    uint64_t value = 0;
+    bool found = index_->Lookup(key, &value);
+    auto it = model.find(key);
+    ASSERT_EQ(found, it != model.end()) << GetParam() << " key " << key;
+    if (found) {
+      EXPECT_EQ(value, it->second) << GetParam() << " key " << key;
+    }
+  }
+}
+
+TEST_P(IndexConformanceTest, TornCrashRecoveryRestoresAckedState) {
+  if (!index_->recoverable()) {
+    GTEST_SKIP() << GetParam() << " declares not_recoverable";
+  }
+  if (!index_->tolerates_torn_crash()) {
+    GTEST_SKIP() << GetParam() << " declares torn crashes out of scope";
+  }
+  std::map<uint64_t, uint64_t> model;
+  Rng rng(47);
+  for (int i = 0; i < 12000; i++) {
+    uint64_t key = Mix64(rng.NextBounded(3000) + 1) | 1;
+    uint64_t value = rng.Next() | 1;
+    index_->Upsert(key, value);
+    model[key] = value;
+  }
+  ctx_.reset();
+  index_.reset();
+  rt_->device().CrashTorn(/*seed=*/777);
+  std::string error;
+  ASSERT_TRUE(rt_->Reopen(&error)) << error;
+  IndexConfig config;
+  config.tree.background_gc = false;
+  index_ = RecoverIndex(GetParam(), *rt_, config);
+  ASSERT_NE(index_, nullptr) << GetParam() << " failed to recover";
+  ctx_ = std::make_unique<pmsim::ThreadContext>(rt_->device(), 0, 0);
+  for (const auto& [key, value] : model) {
+    uint64_t got = 0;
+    ASSERT_TRUE(index_->Lookup(key, &got)) << GetParam() << " lost key " << key;
+    EXPECT_EQ(got, value) << GetParam() << " key " << key;
+  }
+}
+
+TEST_P(IndexConformanceTest, RecoveredIndexAcceptsNewWrites) {
+  if (!index_->recoverable()) {
+    GTEST_SKIP() << GetParam() << " declares not_recoverable";
+  }
+  for (uint64_t k = 1; k <= 3000; k++) {
+    index_->Upsert(k * 2, k);
+  }
+  ctx_.reset();
+  index_.reset();
+  rt_->device().Crash();
+  std::string error;
+  ASSERT_TRUE(rt_->Reopen(&error)) << error;
+  IndexConfig config;
+  config.tree.background_gc = false;
+  index_ = RecoverIndex(GetParam(), *rt_, config);
+  ASSERT_NE(index_, nullptr) << GetParam();
+  ctx_ = std::make_unique<pmsim::ThreadContext>(rt_->device(), 0, 0);
+  for (uint64_t k = 1; k <= 3000; k++) {
+    index_->Upsert(k * 2 + 1, k);
+  }
+  std::vector<kvindex::KeyValue> out(100);
+  size_t n = index_->Scan(1000, 100, out.data());
+  ASSERT_EQ(n, 100u) << GetParam();
+  for (size_t i = 1; i < n; i++) {
+    EXPECT_EQ(out[i].key, out[i - 1].key + 1) << GetParam() << " at " << i;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(AllIndexes, IndexConformanceTest,
                          ::testing::Values("cclbtree", "fptree", "lbtree", "pactree", "fastfair",
                                            "utree", "dptree", "flatstore", "lsmstore"),

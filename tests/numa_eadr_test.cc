@@ -8,6 +8,7 @@
 
 #include "src/bench/driver.h"
 #include "src/core/ccl_btree.h"
+#include "tests/crash_util.h"
 
 namespace cclbt::bench {
 namespace {
@@ -84,8 +85,7 @@ TEST(Eadr, EadrStoresPersistAcrossCrashWithoutFences) {
       tree.Upsert(k, k + 9);
     }
   }
-  runtime.device().Crash();
-  auto tree = core::CclBTree::Recover(runtime, options);
+  auto tree = testutil::CrashAndRecoverTree(runtime, options);
   pmsim::ThreadContext ctx(runtime.device(), 0, 0);
   for (uint64_t k = 1; k <= 5'000; k += 13) {
     uint64_t value = 0;
@@ -159,8 +159,7 @@ TEST(Gc, MultiThreadedGcThenCrashRecovers) {
       tree.Upsert(Mix64(k) | 1, k);
     }
   }
-  runtime.device().Crash();
-  auto tree = core::CclBTree::Recover(runtime, options);
+  auto tree = testutil::CrashAndRecoverTree(runtime, options);
   pmsim::ThreadContext ctx(runtime.device(), 0, 0);
   for (uint64_t k = 1; k <= 60'000; k += 293) {
     uint64_t value = 0;

@@ -286,6 +286,109 @@ TEST(Device, EadrRandomizedEvictionRaisesXbiOfSequentialStream) {
   EXPECT_GT(run(true), run(false));
 }
 
+TEST(CrashInjector, CountOnlyProbeCountsFencesWithoutFiring) {
+  PmDevice device(SmallConfig());
+  ThreadContext ctx(device, 0);
+  CrashInjector injector;
+  device.SetCrashInjector(&injector);
+  injector.Arm(/*fence_target=*/0);  // count-only
+  for (int i = 0; i < 5; i++) {
+    auto* word = reinterpret_cast<uint64_t*>(device.base() + 8192 + i * 64);
+    *word = 1;
+    device.FlushLine(ctx, word);
+    device.Fence(ctx);
+  }
+  device.SetCrashInjector(nullptr);
+  EXPECT_EQ(injector.fences_observed(), 5u);
+  EXPECT_FALSE(injector.fired());
+}
+
+TEST(CrashInjector, DetachedInjectorIsInert) {
+  PmDevice device(SmallConfig());
+  ThreadContext ctx(device, 0);
+  CrashInjector injector;
+  injector.Arm(/*fence_target=*/1);
+  // Armed but never attached to the device: fences must not fire it.
+  auto* word = reinterpret_cast<uint64_t*>(device.base() + 8192);
+  *word = 1;
+  device.FlushLine(ctx, word);
+  device.Fence(ctx);
+  EXPECT_EQ(injector.fences_observed(), 0u);
+  EXPECT_FALSE(injector.fired());
+}
+
+TEST(CrashInjector, FiresAtTargetBeforeCommittingPendingLines) {
+  PmDevice device(SmallConfig());
+  ThreadContext ctx(device, 0);
+  auto* word = reinterpret_cast<uint64_t*>(device.base() + 8192);
+  *word = 0x1111;
+  device.FlushLine(ctx, word);
+  device.Fence(ctx);  // durable baseline
+
+  CrashInjector injector;
+  device.SetCrashInjector(&injector);
+  injector.Arm(/*fence_target=*/1);
+  *word = 0x2222;
+  device.FlushLine(ctx, word);
+  uint64_t caught_index = 0;
+  try {
+    device.Fence(ctx);  // power lost at the sfence
+  } catch (const CrashPointReached& crash) {
+    caught_index = crash.fence_index;
+  }
+  device.SetCrashInjector(nullptr);
+  EXPECT_EQ(caught_index, 1u);
+  EXPECT_TRUE(injector.fired());
+  // The interrupted fence never committed: the crash drops the pending line.
+  device.Crash();
+  EXPECT_EQ(*word, 0x1111u);
+}
+
+TEST(CrashInjector, FiresAtMostOnce) {
+  PmDevice device(SmallConfig());
+  ThreadContext ctx(device, 0);
+  CrashInjector injector;
+  device.SetCrashInjector(&injector);
+  injector.Arm(/*fence_target=*/2);
+  int fired = 0;
+  for (int i = 0; i < 6; i++) {
+    try {
+      device.Fence(ctx);
+    } catch (const CrashPointReached&) {
+      fired++;
+    }
+  }
+  device.SetCrashInjector(nullptr);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(injector.fences_observed(), 6u);
+}
+
+TEST(CrashInjector, CrashCountersAccountDroppedAndTornLines) {
+  PmDevice device(SmallConfig());
+  ThreadContext ctx(device, 0);
+  for (int i = 0; i < 16; i++) {
+    auto* word = reinterpret_cast<uint64_t*>(device.base() + 8192 + i * 64);
+    *word = 9;
+    device.FlushLine(ctx, word);
+  }
+  device.Crash();  // all 16 pending lines dropped
+  auto after_clean = device.stats().Snapshot();
+  EXPECT_EQ(after_clean.crashes_injected, 1u);
+  EXPECT_EQ(after_clean.crash_lines_dropped, 16u);
+  EXPECT_EQ(after_clean.crash_torn_lines_applied, 0u);
+
+  for (int i = 0; i < 16; i++) {
+    auto* word = reinterpret_cast<uint64_t*>(device.base() + 8192 + i * 64);
+    *word = 11;
+    device.FlushLine(ctx, word);
+  }
+  device.CrashTorn(/*seed=*/5);  // each pending line torn-persists with p=1/2
+  auto after_torn = device.stats().Snapshot();
+  EXPECT_EQ(after_torn.crashes_injected, 2u);
+  EXPECT_EQ(after_torn.crash_lines_dropped + after_torn.crash_torn_lines_applied, 32u);
+  EXPECT_GT(after_torn.crash_torn_lines_applied, 0u);
+}
+
 TEST(ThreadContext, NestingRestoresPrevious) {
   PmDevice device(SmallConfig());
   ThreadContext outer(device, 0);

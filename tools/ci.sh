@@ -2,8 +2,9 @@
 # The repo's CI entry point, runnable locally:
 #
 #   1. tier-1: default build + full ctest (the gate every change must pass)
-#   2. ASan+UBSan on the pmsim + trace test subset
-#   3. TSan on the pmsim + trace test subset
+#   2. crash: quick crash-injection matrix profile (ctest label "crash")
+#   3. ASan+UBSan on the pmsim + trace test subset
+#   4. TSan on the pmsim + trace test subset
 #
 # The sanitizer passes cover the code with the trickiest concurrency story —
 # the lock-striped XPBuffer, sharded stats, and the pmtrace ring/registry —
@@ -18,6 +19,11 @@ cmake -B build -S . >/dev/null
 cmake --build build -j"$(nproc)"
 echo "=== tier-1: ctest ==="
 ctest --test-dir build --output-on-failure -j"$(nproc)"
+
+# Quick crash-matrix profile: reruns just the crash-labelled tests so a
+# crash-consistency regression is named explicitly in the CI log (DESIGN.md §9).
+echo "=== crash: injection matrix ==="
+ctest --test-dir build -L crash --output-on-failure
 
 tools/sanitize.sh asan "${SANITIZE_FILTER}"
 tools/sanitize.sh tsan "${SANITIZE_FILTER}"
