@@ -24,7 +24,9 @@ void RunTimeline(core::GcMode mode, const char* label, uint64_t scale) {
   kvindex::Runtime runtime(runtime_options);
   core::TreeOptions tree_options;
   tree_options.gc_mode = mode;
-  tree_options.background_gc = false;  // the bench drives GC at the trigger
+  // The bench paces GC explicitly at window edges via GcTick() so the
+  // timeline is deterministic and GC cost lands between samples.
+  tree_options.background_gc = false;
   core::CclBTree tree(runtime, tree_options);
 
   const int kThreads = 48;
@@ -43,7 +45,6 @@ void RunTimeline(core::GcMode mode, const char* label, uint64_t scale) {
   for (int w = 0; w < kThreads; w++) {
     ctxs.push_back(std::make_unique<pmsim::ThreadContext>(runtime.device(), 0, w));
   }
-  auto gc_ctx = std::make_unique<pmsim::ThreadContext>(runtime.device(), 0, 128);
   pmsim::ThreadContext::SetCurrent(nullptr);
 
   const uint64_t kTotalOps = scale;
@@ -63,24 +64,10 @@ void RunTimeline(core::GcMode mode, const char* label, uint64_t scale) {
       }
     }
     // GC trigger check between windows (the paper's background thread; here
-    // synchronous so the timeline is deterministic).
-    if (mode != core::GcMode::kNone && tree.GcTriggerReached()) {
-      // The GC worker's clock starts from the foreground frontier.
-      uint64_t frontier = 0;
-      for (auto& ctx : ctxs) {
-        frontier = std::max(frontier, ctx->now_ns());
-      }
-      gc_ctx->ResetClock(frontier);
-      pmsim::ThreadContext::SetCurrent(gc_ctx.get());
-      tree.RunGcOnce();
-      if (mode == core::GcMode::kNaive) {
-        // Naive GC stops the world: every foreground thread stalls until the
-        // flush-back completes (§3.4).
-        for (auto& ctx : ctxs) {
-          ctx->ResetClock(std::max(ctx->now_ns(), gc_ctx->now_ns()));
-        }
-      }
-    }
+    // paced by the bench so the timeline is deterministic). GcTick() owns the
+    // frontier fast-forward onto the tree's GC context, the kGc attribution
+    // scope, and naive GC's stop-the-world clock raise (§3.4 / DESIGN.md §10).
+    tree.GcTick();
     pmsim::ThreadContext::SetCurrent(nullptr);
     uint64_t vtime = runtime.device().MaxDimmBusyNs();
     for (auto& ctx : ctxs) {

@@ -6,6 +6,15 @@
 # place after tools/summarize_benches.py --check accepts them, so a crashed
 # or interrupted bench fails this script loudly instead of leaving a
 # partial/invalid BENCH_*.json behind.
+#
+#   ./run_benches.sh --determinism [FILTER]
+#
+# runs each staged bench TWICE and diffs the virtual-metric tails
+# (tools/summarize_benches.py --tail): any difference is a violation of the
+# driver determinism contract (DESIGN.md §10) and fails the script. FILTER is
+# an optional egrep pattern over binary names (default: every bench).
+# bench_pmsim_hotpath is excluded — it measures host wall time by design.
+# No bench_output.txt / BENCH_*.json artifacts are touched in this mode.
 set -u
 cd "$(dirname "$0")"
 
@@ -13,6 +22,42 @@ fail() {
   echo "run_benches.sh: FAILED: $*" >&2
   exit 1
 }
+
+run_determinism() {
+  local filter="${1:-.}"
+  local status=0 matched=0
+  local out1 out2 tail1 tail2
+  out1="$(mktemp)" && out2="$(mktemp)" && tail1="$(mktemp)" && tail2="$(mktemp)" \
+    || fail "mktemp"
+  trap 'rm -f "$out1" "$out2" "$tail1" "$tail2"' EXIT
+  for b in build/bench/bench_*; do
+    local name
+    name="$(basename "$b")"
+    [ "$name" = "bench_pmsim_hotpath" ] && continue  # wall-clock bench
+    echo "$name" | grep -Eq "$filter" || continue
+    matched=1
+    "$b" > "$out1" 2>&1 || fail "$name exited with status $? (run 1)"
+    "$b" > "$out2" 2>&1 || fail "$name exited with status $? (run 2)"
+    tools/summarize_benches.py --tail "$out1" > "$tail1" \
+      || fail "$name run 1 produced no metric tail"
+    tools/summarize_benches.py --tail "$out2" > "$tail2" \
+      || fail "$name run 2 produced no metric tail"
+    if diff -u "$tail1" "$tail2"; then
+      echo "determinism OK: ${name} ($(wc -l < "$tail1") metric rows bit-identical)"
+    else
+      echo "run_benches.sh: DETERMINISM VIOLATION in ${name} (diff above)" >&2
+      status=1
+    fi
+  done
+  [ "$matched" = 1 ] || fail "--determinism filter '${filter}' matched no bench"
+  [ "$status" = 0 ] || fail "determinism violations detected"
+  echo "DETERMINISM_OK"
+  exit 0
+}
+
+if [ "${1:-}" = "--determinism" ]; then
+  run_determinism "${2:-.}"
+fi
 
 : > bench_output.txt
 for b in build/bench/bench_*; do

@@ -287,6 +287,10 @@ RunResult RunWorkload(kvindex::Runtime& runtime, kvindex::KvIndex& index,
   const bool sample_timeline = tracing && !config.os_parallel && config.ops > 0;
   const uint64_t sample_every = std::max<uint64_t>(1, config.ops / 32);
   uint64_t sampled_ops = 0;
+  // Driver-paced GC epochs (gc_epoch_ops): sequential scheduling only — the
+  // shared counter below would race under os_parallel.
+  const uint64_t gc_epoch_ops = config.os_parallel ? 0 : config.gc_epoch_ops;
+  uint64_t gc_epoch_counter = 0;
 
   {
     auto ctxs = MakeContexts(runtime, config);
@@ -295,6 +299,9 @@ RunResult RunWorkload(kvindex::Runtime& runtime, kvindex::KvIndex& index,
       uint64_t end = std::min(st.limit, st.cursor + kSliceOps);
       for (; st.cursor < end; st.cursor++) {
         run_one(st, st.cursor);
+        if (gc_epoch_ops != 0 && ++gc_epoch_counter % gc_epoch_ops == 0) {
+          index.GcTick();
+        }
         if (sample_timeline && ++sampled_ops % sample_every == 0) {
           pmsim::StatsSnapshot now =
               runtime.device().stats().Snapshot().Delta(before);

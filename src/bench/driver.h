@@ -57,15 +57,26 @@ struct RunConfig {
   // Preset key set (e.g. SOSD datasets); overrides dist for inserts.
   const std::vector<uint64_t>* preset_keys = nullptr;
   uint64_t seed = 99;
+  // Additionally call KvIndex::GcTick() every gc_epoch_ops-th measured op
+  // (0 = off), pinning background-GC rounds to explicit virtual-time epochs
+  // of the driver instead of the index's own cooperative quantum. Sequential
+  // scheduling only; ignored under os_parallel (a shared op counter would
+  // race). Useful for read-heavy mixes whose sparse upserts would starve the
+  // index-side quantum.
+  uint64_t gc_epoch_ops = 0;
   // Execute the logical workers on real OS threads. Sequential execution
   // (the default) is fully deterministic: the same RunConfig yields
-  // bit-identical virtual-time metrics run after run (provided the index
-  // spawns no background threads, e.g. TreeOptions::background_gc = false).
-  // With one worker, os_parallel on/off is also bit-identical. With several
-  // workers, os_parallel results differ slightly run-to-run: real-thread
-  // interleaving changes lock-acquisition order and XPBuffer LRU state, so
-  // eviction counts and queueing delays shift within noise. Concurrency
-  // correctness is covered by the test suite, which always uses real threads.
+  // bit-identical virtual-time metrics run after run — including indexes
+  // with background GC, which runs at deterministic virtual-time points
+  // under GcScheduling::kDeterministic (the default; see DESIGN.md §10).
+  // The only escape from the contract is TreeOptions::gc_scheduling =
+  // kOsThread, which reintroduces a free-running GC thread for concurrency
+  // stress. With one worker, os_parallel on/off is also bit-identical. With
+  // several workers, os_parallel results differ slightly run-to-run:
+  // real-thread interleaving changes lock-acquisition order and XPBuffer LRU
+  // state, so eviction counts and queueing delays shift within noise.
+  // Concurrency correctness is covered by the test suite, which always uses
+  // real threads.
   bool os_parallel = false;
 };
 

@@ -3,12 +3,12 @@
 #include <algorithm>
 #include <cstdio>
 #include <cassert>
-#include <chrono>
 #include <cstring>
 #include <map>
 #include <unordered_set>
 #include <vector>
 
+#include "src/pmsim/crash_injector.h"
 #include "src/trace/trace.h"
 
 namespace cclbt::core {
@@ -69,9 +69,7 @@ CclBTree::CclBTree(kvindex::Runtime& runtime, const TreeOptions& options,
   BufferNode* head_bn = NewBufferNode(head_leaf_, /*sep=*/0, /*recovery_ts=*/0);
   inner_.Insert(0, head_bn);
 
-  if (options_.background_gc && options_.gc_mode != GcMode::kNone) {
-    gc_thread_ = std::thread([this] { GcThreadBody(); });
-  }
+  InitGc();
 }
 
 bool CclBTree::Recover(kvindex::Runtime& runtime, int recovery_threads) {
@@ -110,17 +108,14 @@ bool CclBTree::Recover(kvindex::Runtime& runtime, int recovery_threads) {
       boot_ctx.now_ns() - boot_start + replay_max_vtime_ns_.load(std::memory_order_relaxed),
       std::memory_order_relaxed);
   recovered_ = true;
-  if (options_.background_gc && options_.gc_mode != GcMode::kNone) {
-    gc_thread_ = std::thread([this] { GcThreadBody(); });
-  }
+  // GC may only start now: every earlier return leaves the instance without
+  // GC state, so a failed recovery destructs without joining anything.
+  InitGc();
   return true;
 }
 
 CclBTree::~CclBTree() {
-  stop_gc_.store(true, std::memory_order_release);
-  if (gc_thread_.joinable()) {
-    gc_thread_.join();
-  }
+  StopBackgroundGc();
   std::lock_guard<std::mutex> guard(all_bns_mu_);
   for (BufferNode* bn : all_bns_) {
     BufferNode::Delete(bn);
@@ -184,6 +179,19 @@ void CclBTree::Upsert(uint64_t key, uint64_t value) {
     UpsertInternal(key, value);
   } else {
     UpsertInternal(key, value);
+  }
+  // Cooperative GC quantum, outside the naive gate (NaiveGc takes it
+  // exclusively; scheduling from inside the shared section would deadlock).
+  if (options_.background_gc && options_.gc_mode != GcMode::kNone) {
+    if (options_.gc_scheduling == GcScheduling::kDeterministic) {
+      uint64_t n = gc_op_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (options_.gc_quantum_ops > 0 &&
+          n % static_cast<uint64_t>(options_.gc_quantum_ops) == 0) {
+        GcTick();
+      }
+    } else {
+      NotifyGcThreadIfTriggered();
+    }
   }
 }
 
@@ -779,22 +787,111 @@ bool CclBTree::GcTriggerReached() const {
   return live >= 2 * post_gc_live_bytes_.load(std::memory_order_relaxed);
 }
 
+void CclBTree::InitGc() {
+  if (options_.gc_mode == GcMode::kNone) {
+    return;
+  }
+  if (options_.background_gc && options_.gc_scheduling == GcScheduling::kOsThread) {
+    // Legacy escape hatch: a real OS thread, for concurrency stress only.
+    gc_thread_ = std::thread([this] { GcThreadBody(); });
+    return;
+  }
+  // Deterministic participant: a tree-owned context that all GC PM traffic
+  // is charged to, whether rounds come from the cooperative quantum or from
+  // explicit GcTick() callers (benches, crash matrix). Constructed with no
+  // thread-local current installed so the context is bound to no OS thread
+  // and carries no dangling `previous_` restore target.
+  pmsim::ThreadContext* saved = pmsim::ThreadContext::Current();
+  pmsim::ThreadContext::SetCurrent(nullptr);
+  gc_ctx_ = std::make_unique<pmsim::ThreadContext>(rt_.device(), /*socket=*/0,
+                                                   /*worker_id=*/options_.max_workers - 1);
+  pmsim::ThreadContext::SetCurrent(saved);
+}
+
+void CclBTree::StopBackgroundGc() {
+  {
+    std::lock_guard<std::mutex> guard(gc_cv_mu_);
+    stop_gc_.store(true, std::memory_order_release);
+  }
+  gc_cv_.notify_all();
+  if (gc_thread_.joinable()) {
+    gc_thread_.join();
+  }
+}
+
+void CclBTree::NotifyGcThreadIfTriggered() {
+  if (!gc_thread_.joinable() || !GcTriggerReached()) {
+    return;
+  }
+  // The empty critical section pairs with the predicate re-check inside
+  // GcThreadBody's wait: either the waiter sees the trigger, or it is parked
+  // inside wait() when this notify lands — no lost wakeup either way.
+  { std::lock_guard<std::mutex> guard(gc_cv_mu_); }
+  gc_cv_.notify_one();
+}
+
 void CclBTree::GcThreadBody() {
   pmsim::ThreadContext gc_ctx(rt_.device(), /*socket=*/0,
                               /*worker_id=*/options_.max_workers - 1);
+  std::unique_lock<std::mutex> lock(gc_cv_mu_);
   while (!stop_gc_.load(std::memory_order_acquire)) {
-    if (options_.gc_mode != GcMode::kNone && GcTriggerReached()) {
-      RunGcOnce();
-    } else {
-      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    gc_cv_.wait(lock, [this] {
+      return stop_gc_.load(std::memory_order_acquire) || GcTriggerReached();
+    });
+    if (stop_gc_.load(std::memory_order_acquire)) {
+      break;
     }
+    lock.unlock();
+    RunGcOnce();
+    lock.lock();
   }
+}
+
+bool CclBTree::GcTick() {
+  if (gc_ctx_ == nullptr || options_.gc_mode == GcMode::kNone || !GcTriggerReached()) {
+    return false;
+  }
+  std::unique_lock<std::mutex> tick(gc_tick_mu_, std::try_to_lock);
+  if (!tick.owns_lock()) {
+    return false;  // another worker is mid-round; it covers this trigger
+  }
+  if (!GcTriggerReached()) {
+    return false;  // the round that just finished already cleared it
+  }
+  // Fast-forward the GC context to the frontier of every live clock: the
+  // round happens "now" in the simulated timeline, after the work that
+  // tripped the trigger, not at whatever stale time the last round ended.
+  gc_ctx_->ResetClock(std::max(gc_ctx_->now_ns(), rt_.device().MaxContextClockNs()));
+  pmsim::ThreadContext* saved = pmsim::ThreadContext::Current();
+  // A crash injector may abort the round mid-stream (CrashPointReached):
+  // restore the caller's context on every exit path.
+  struct Restore {
+    pmsim::ThreadContext* saved;
+    ~Restore() { pmsim::ThreadContext::SetCurrent(saved); }
+  } restore{saved};
+  pmsim::ThreadContext::SetCurrent(gc_ctx_.get());
+  RunGcOnce();
+  if (options_.gc_mode == GcMode::kNaive) {
+    // Stop-the-world: every worker resumes only after the barrier ends.
+    rt_.device().RaiseContextClocks(gc_ctx_->now_ns());
+  }
+  return true;
+}
+
+std::vector<CclBTree::GcFenceWindow> CclBTree::gc_fence_windows() const {
+  std::lock_guard<std::mutex> guard(gc_windows_mu_);
+  return gc_fence_windows_;
 }
 
 void CclBTree::RunGcOnce() {
   if (options_.gc_mode == GcMode::kNone) {
     return;
   }
+  // With a crash injector installed (crash-matrix runs only), record this
+  // round's fence window so the matrix can schedule points that land inside
+  // GC's own flush/fence stream.
+  pmsim::CrashInjector* injector = rt_.device().crash_injector();
+  const uint64_t first_fence = injector != nullptr ? injector->fences_observed() + 1 : 0;
   trace::TraceScope scope(trace::Component::kGc);
   trace::Emit(trace::EventType::kGcBegin, wals_->live_bytes());
   switch (options_.gc_mode) {
@@ -808,6 +905,13 @@ void CclBTree::RunGcOnce() {
       break;
   }
   trace::Emit(trace::EventType::kGcEnd, wals_->live_bytes());
+  if (injector != nullptr) {
+    uint64_t last_fence = injector->fences_observed();
+    if (last_fence >= first_fence) {
+      std::lock_guard<std::mutex> guard(gc_windows_mu_);
+      gc_fence_windows_.push_back({first_fence, last_fence});
+    }
+  }
 }
 
 std::vector<BufferNode*> CclBTree::CollectBufferNodes() const {

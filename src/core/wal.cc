@@ -31,10 +31,19 @@ bool EntryValid(const LogEntry& entry, uint32_t generation) {
   return tag == expected && entry.timestamp() != 0;
 }
 
+// WAL traffic attributes to kWal — unless the append/activate/release runs
+// inside a GC round (TraceScope(kGc) active), in which case GC keeps the
+// attribution: fig14's cost model charges GC-driven I-log appends and chunk
+// recycling to the GC component, not to foreground logging.
+static trace::Component WalComponent() {
+  return trace::CurrentComponent() == trace::Component::kGc ? trace::Component::kGc
+                                                            : trace::Component::kWal;
+}
+
 ThreadWal::~ThreadWal() = default;
 
 bool ThreadWal::ActivateChunk(int epoch) {
-  trace::TraceScope scope(trace::Component::kWal);
+  trace::TraceScope scope(WalComponent());
   pmsim::ThreadContext* ctx = pmsim::ThreadContext::Current();
   assert(ctx != nullptr);
   void* mem = arena_->AllocChunk(ctx->socket());
@@ -55,7 +64,7 @@ bool ThreadWal::ActivateChunk(int epoch) {
 }
 
 bool ThreadWal::Append(int epoch, uint64_t key, uint64_t value, uint64_t timestamp) {
-  trace::TraceScope scope(trace::Component::kWal);
+  trace::TraceScope scope(WalComponent());
   trace::Emit(trace::EventType::kWalAppend, static_cast<uint64_t>(epoch));
   ActiveChunk& chunk = active_[epoch];
   if (chunk.base == nullptr ||
@@ -76,7 +85,7 @@ bool ThreadWal::Append(int epoch, uint64_t key, uint64_t value, uint64_t timesta
 }
 
 uint64_t ThreadWal::ReleaseEpoch(int epoch) {
-  trace::TraceScope scope(trace::Component::kWal);
+  trace::TraceScope scope(WalComponent());
   pmsim::ThreadContext* ctx = pmsim::ThreadContext::Current();
   assert(ctx != nullptr);
   for (std::byte* base : chunks_[epoch]) {

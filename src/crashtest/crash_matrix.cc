@@ -5,6 +5,7 @@
 
 #include "src/bench/index_factory.h"
 #include "src/common/rng.h"
+#include "src/core/ccl_btree.h"
 #include "src/crashtest/oracle.h"
 #include "src/kvindex/runtime.h"
 #include "src/pmsim/crash_injector.h"
@@ -48,9 +49,13 @@ kvindex::RuntimeOptions RuntimeOptionsFor(const MatrixConfig& config) {
 
 bench::IndexConfig IndexConfigFor(const MatrixConfig& config) {
   bench::IndexConfig index_config;
-  // Background GC would make fence counts nondeterministic; the matrix is a
-  // single deterministic worker.
-  index_config.tree.background_gc = false;
+  // Deterministic GC scheduling (DESIGN.md §10) keeps fence counts a pure
+  // function of the op stream even with background GC on, so the matrix can
+  // crash inside GC's own flush/fence stream instead of disabling it.
+  index_config.tree.background_gc = config.background_gc;
+  index_config.tree.gc_scheduling = core::GcScheduling::kDeterministic;
+  index_config.tree.th_log_pct = config.th_log_pct;
+  index_config.tree.gc_quantum_ops = config.gc_quantum_ops;
   index_config.tree.max_workers = 2 + config.recovery_threads;
   return index_config;
 }
@@ -70,10 +75,15 @@ struct Probe {
   uint64_t total_fences = 0;
   bool recoverable = false;
   bool tolerates_torn = false;
+  uint64_t gc_rounds = 0;
+  std::vector<GcWindow> gc_windows;
 };
 
 // Runs the workload to completion with a count-only injector: yields the
-// fence range the schedules cover, plus the index's declared capabilities.
+// fence range the schedules cover, the index's declared capabilities, and
+// the fence windows of every GC round (per-point replays are byte-identical
+// up to their crash fence, so the probe's windows locate GC activity in
+// every replay too).
 Probe ProbeWorkload(const MatrixConfig& config, const std::vector<Op>& ops) {
   Probe probe;
   kvindex::Runtime runtime(RuntimeOptionsFor(config));
@@ -92,6 +102,12 @@ Probe ProbeWorkload(const MatrixConfig& config, const std::vector<Op>& ops) {
     runtime.device().SetCrashInjector(nullptr);
   }
   probe.total_fences = injector.fences_observed();
+  if (auto* tree = dynamic_cast<core::CclBTree*>(index.get())) {
+    probe.gc_rounds = tree->gc_rounds();
+    for (const core::CclBTree::GcFenceWindow& window : tree->gc_fence_windows()) {
+      probe.gc_windows.push_back({window.first_fence, window.last_fence});
+    }
+  }
   return probe;
 }
 
@@ -159,7 +175,8 @@ PointOutcome RunPoint(const MatrixConfig& config, const std::vector<Op>& ops,
 }  // namespace
 
 std::vector<CrashPoint> BuildSchedule(const MatrixConfig& config, uint64_t total_fences,
-                                      bool torn_allowed) {
+                                      bool torn_allowed,
+                                      const std::vector<GcWindow>& gc_windows) {
   std::vector<CrashPoint> points;
   auto add = [&](uint64_t target) {
     if (target == 0 || target > total_fences) {
@@ -193,6 +210,14 @@ std::vector<CrashPoint> BuildSchedule(const MatrixConfig& config, uint64_t total
       add(start + i);
     }
   }
+  if (config.gc_stride != 0) {
+    for (const GcWindow& window : gc_windows) {
+      for (uint64_t target = window.first_fence; target <= window.last_fence;
+           target += config.gc_stride) {
+        add(target);
+      }
+    }
+  }
   return points;
 }
 
@@ -202,18 +227,31 @@ MatrixResult RunCrashMatrix(const MatrixConfig& config) {
   Probe probe = ProbeWorkload(config, ops);
   result.index_recoverable = probe.recoverable;
   result.total_fences = probe.total_fences;
+  result.gc_rounds_probe = probe.gc_rounds;
   if (!probe.recoverable) {
     result.diagnostics.push_back(config.index + " declares not_recoverable; no points run");
     return result;
   }
   bool torn_allowed = config.torn && probe.tolerates_torn;
+  auto in_gc_window = [&probe](uint64_t fence) {
+    for (const GcWindow& window : probe.gc_windows) {
+      if (fence >= window.first_fence && fence <= window.last_fence) {
+        return true;
+      }
+    }
+    return false;
+  };
 
-  for (const CrashPoint& point : BuildSchedule(config, probe.total_fences, torn_allowed)) {
+  for (const CrashPoint& point :
+       BuildSchedule(config, probe.total_fences, torn_allowed, probe.gc_windows)) {
     PointOutcome outcome = RunPoint(config, ops, point);
     if (!outcome.fired) {
       continue;
     }
     result.crash_points++;
+    if (in_gc_window(point.fence_target)) {
+      result.gc_window_points++;
+    }
     if (point.torn) {
       result.torn_crashes++;
     } else {

@@ -3,7 +3,8 @@
 // A matrix run takes one recoverable index and one deterministic
 // single-worker workload, probes how many fences the uninterrupted workload
 // executes, derives a crash schedule from the seed (every-Nth, seeded-random
-// and exhaustive-window points over the fence range), and then, for every
+// and exhaustive-window points over the fence range, plus points inside the
+// fence windows of the probe's background-GC rounds), and then, for every
 // scheduled point, replays the workload in a fresh Runtime with a
 // pmsim::CrashInjector armed at that fence. The injected crash aborts the
 // workload mid-operation; the harness settles the media with
@@ -51,15 +52,35 @@ struct MatrixConfig {
   // Make every second scheduled point a torn crash (CrashTorn) — only
   // honoured when the index declares tolerates_torn_crash().
   bool torn = false;
+  // --- background-GC coverage (cclbtree, DESIGN.md §10) --------------------
+  // The matrix runs the tree with background GC enabled under deterministic
+  // scheduling, so GC rounds land at fence counts that are a pure function
+  // of the op stream and crash points can hit GC's own flush/fence stream —
+  // including the relocate-then-free window of the locality-aware GC.
+  bool background_gc = true;
+  int th_log_pct = 6;      // low trigger so GC fires within small workloads
+  int gc_quantum_ops = 16;  // tight quantum for the same reason
+  // gc-window schedule: a crash point at every gc_stride-th fence inside
+  // each GC round's fence window observed in the probe run (0 disables).
+  uint64_t gc_stride = 2;
   size_t pool_bytes = 32ULL << 20;  // small pool keeps per-point Crash() cheap
   int recovery_threads = 1;
   int max_diagnostics = 8;
 };
 
+// Fence-count window [first_fence, last_fence] (1-based, inclusive) of one
+// completed GC round, as observed by the probe run's injector.
+struct GcWindow {
+  uint64_t first_fence = 0;
+  uint64_t last_fence = 0;
+};
+
 struct MatrixResult {
   bool index_recoverable = false;
   uint64_t total_fences = 0;  // fences in the uninterrupted workload (probe)
+  uint64_t gc_rounds_probe = 0;  // GC rounds the uninterrupted workload ran
   uint64_t crash_points = 0;  // points that actually fired
+  uint64_t gc_window_points = 0;  // fired points inside GC fence windows
   uint64_t clean_crashes = 0;
   uint64_t torn_crashes = 0;
   uint64_t reopen_failures = 0;
@@ -80,9 +101,11 @@ struct MatrixResult {
 };
 
 // Deterministic schedule enumeration (exposed for tests). `torn_allowed`
-// folds in the index's tolerates_torn_crash capability.
+// folds in the index's tolerates_torn_crash capability; `gc_windows` (from
+// the probe run) feeds the gc-window schedule.
 std::vector<CrashPoint> BuildSchedule(const MatrixConfig& config, uint64_t total_fences,
-                                      bool torn_allowed);
+                                      bool torn_allowed,
+                                      const std::vector<GcWindow>& gc_windows = {});
 
 // Probe + full sweep. Each crash point runs in its own fresh Runtime.
 MatrixResult RunCrashMatrix(const MatrixConfig& config);

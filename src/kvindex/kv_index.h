@@ -58,6 +58,13 @@ class KvIndex {
   // DPTree's buffer merge) can reach a steady state before measurement.
   virtual void FlushAll() {}
 
+  // Deterministic-GC hook (DESIGN.md §10): an index with a schedulable
+  // background reclaimer checks its trigger here and runs at most one round
+  // at this virtual-time point, charging the work to its own context.
+  // Returns true if a round ran. Drivers call it at virtual-time epochs;
+  // indexes without background work keep the no-op default.
+  virtual bool GcTick() { return false; }
+
   // --- persistence lifecycle (DESIGN.md §9) --------------------------------
   // An index is `recoverable` when it can be constructed with
   // Lifecycle::kAttach after Runtime::Reopen() and rebuild its DRAM state

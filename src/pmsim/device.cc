@@ -462,6 +462,24 @@ uint64_t PmDevice::MaxDimmBusyNs() const {
   return max_busy;
 }
 
+uint64_t PmDevice::MaxContextClockNs() const {
+  uint64_t frontier = 0;
+  std::lock_guard<std::mutex> guard(contexts_mu_);
+  for (const ThreadContext* ctx : contexts_) {
+    frontier = std::max(frontier, ctx->now_ns());
+  }
+  return frontier;
+}
+
+void PmDevice::RaiseContextClocks(uint64_t to_ns) {
+  std::lock_guard<std::mutex> guard(contexts_mu_);
+  for (ThreadContext* ctx : contexts_) {
+    if (ctx->now_ns() < to_ns) {
+      ctx->ResetClock(to_ns);
+    }
+  }
+}
+
 void PmDevice::ResetCosts() {
   for (size_t dimm = 0; dimm < dimm_busy_until_ns_.size(); dimm++) {
     std::lock_guard<XpBufferLock> guard(xpbuffers_[dimm]->mutex());

@@ -122,6 +122,15 @@ class PmDevice {
   // modeled elapsed time is max(worker clocks, this).
   uint64_t MaxDimmBusyNs() const;
 
+  // Frontier of all registered contexts' virtual clocks. A deterministic
+  // background participant (e.g. CCL-BTree's GC context) fast-forwards to
+  // this point before running, so its work lands "now" in the simulated
+  // timeline rather than at whatever stale time its private clock holds.
+  uint64_t MaxContextClockNs() const;
+  // Raises every registered context's clock to at least `to_ns`. Models a
+  // stop-the-world phase (naive GC): all workers observe the barrier's end.
+  void RaiseContextClocks(uint64_t to_ns);
+
   // Reset performance accounting between bench phases (not persistence state).
   void ResetCosts();
 
@@ -230,7 +239,7 @@ class PmDevice {
   static constexpr size_t kTagPageBytes = 4096;
   std::unique_ptr<std::atomic<uint8_t>[]> page_tags_;
 
-  std::mutex contexts_mu_;
+  mutable std::mutex contexts_mu_;
   std::vector<ThreadContext*> contexts_;
 
   // eADR modeled CPU cache: set of dirty line offsets awaiting implicit

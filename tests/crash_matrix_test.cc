@@ -30,6 +30,9 @@ MatrixConfig FullConfig(const std::string& index) {
 }
 
 void ExpectMatrixClean(const MatrixResult& result, uint64_t min_points) {
+  SCOPED_TRACE("crash_points=" + std::to_string(result.crash_points) +
+               " gc_rounds_probe=" + std::to_string(result.gc_rounds_probe) +
+               " gc_window_points=" + std::to_string(result.gc_window_points));
   for (const std::string& diag : result.diagnostics) {
     ADD_FAILURE() << diag;
   }
@@ -61,6 +64,21 @@ TEST(BuildSchedule, CoversAllThreeKindsDeterministically) {
   for (uint64_t i = 0; i < nth_points; i++) {
     EXPECT_EQ(points[i].fence_target, (i + 1) * config.nth);
   }
+  // gc-window schedule: every gc_stride-th fence of each window, clamped to
+  // the observed fence range.
+  std::vector<GcWindow> gc_windows = {{100, 110}, {2990, 3010}};
+  auto with_gc = BuildSchedule(config, total_fences, /*torn_allowed=*/true, gc_windows);
+  std::vector<uint64_t> expected;
+  for (uint64_t target = 100; target <= 110; target += config.gc_stride) {
+    expected.push_back(target);
+  }
+  for (uint64_t target = 2990; target <= 3000; target += config.gc_stride) {
+    expected.push_back(target);  // 3002+ fall outside total_fences
+  }
+  ASSERT_EQ(with_gc.size(), points.size() + expected.size());
+  for (size_t i = 0; i < expected.size(); i++) {
+    EXPECT_EQ(with_gc[points.size() + i].fence_target, expected[i]);
+  }
   // All targets stay inside the observed fence range.
   uint64_t torn_count = 0;
   for (const CrashPoint& point : points) {
@@ -81,6 +99,13 @@ TEST(CrashMatrix, CclBtreeSurvivesFullMatrix) {
   // CCL-BTree declares torn tolerance: both crash flavours must have run.
   EXPECT_GT(result.clean_crashes, 0u);
   EXPECT_GT(result.torn_crashes, 0u);
+  // Deterministic background GC ran in the probe, and the gc-window schedule
+  // crashed inside GC's own flush/fence stream — the epoch flip, the
+  // relocate-to-I-log appends and the B-log release all live in these
+  // windows (acceptance bar: >= 20 points inside GC activity, zero oracle
+  // violations, which ExpectMatrixClean already asserted).
+  EXPECT_GT(result.gc_rounds_probe, 0u);
+  EXPECT_GE(result.gc_window_points, 20u);
 }
 
 TEST(CrashMatrix, FastFairSurvivesFullMatrix) {

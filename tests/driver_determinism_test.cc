@@ -45,9 +45,7 @@ void ExpectIdenticalVirtualMetrics(const RunResult& a, const RunResult& b) {
 }
 
 // Same RunConfig, run twice, sequential driver: every virtual metric must be
-// bit-identical. cclbtree's background GC thread is the one source of
-// nondeterminism in the stack, so it is disabled here; the GC path itself is
-// covered by ccl_btree_test and bench_fig14.
+// bit-identical. GC disabled: the no-GC baseline of the contract.
 TEST(DriverDeterminismTest, RepeatedRunsAreBitIdentical) {
   IndexConfig index_config;
   index_config.tree.background_gc = false;
@@ -73,6 +71,58 @@ TEST(DriverDeterminismTest, SingleWorkerOsParallelMatchesSequential) {
   RunResult parallel = RunIndexWorkload("cclbtree", config, index_config);
   ASSERT_GT(sequential.stats.media_write_bytes, 0u);
   ExpectIdenticalVirtualMetrics(sequential, parallel);
+}
+
+// The tentpole of DESIGN.md §10: with background GC *enabled* (the default
+// deterministic scheduling), repeated runs must still be bit-identical —
+// historically the one standing exception to the driver's contract, because
+// GC ran on a free-running OS thread paced by wall-clock sleeps.
+TEST(DriverDeterminismTest, BackgroundGcRunsAreBitIdentical) {
+  IndexConfig index_config;
+  index_config.tree.background_gc = true;
+  // Low trigger threshold so several GC rounds fire inside this small run;
+  // the assertions below prove GC actually ran.
+  index_config.tree.th_log_pct = 10;
+  RunConfig config = SmallConfig();
+  RunResult first = RunIndexWorkload("cclbtree", config, index_config);
+  RunResult second = RunIndexWorkload("cclbtree", config, index_config);
+  ASSERT_GT(first.stats.media_write_bytes, 0u);
+  ExpectIdenticalVirtualMetrics(first, second);
+  // GC-attributed media bytes: present (GC ran) and bit-identical.
+  uint64_t gc_bytes_first = first.stats.media_write_bytes_for(trace::Component::kGc);
+  uint64_t gc_bytes_second = second.stats.media_write_bytes_for(trace::Component::kGc);
+  EXPECT_GT(gc_bytes_first, 0u) << "GC never fired; the run has no GC to pin down";
+  EXPECT_EQ(gc_bytes_first, gc_bytes_second);
+  for (int c = 0; c < trace::kNumComponents; c++) {
+    EXPECT_EQ(first.stats.media_write_bytes_by_component[c],
+              second.stats.media_write_bytes_by_component[c])
+        << "component " << trace::ComponentName(static_cast<trace::Component>(c));
+  }
+  // The `pmctl stats` conservation invariant, per run: attributed bytes sum
+  // exactly to the total — GC's share is moved between runs, never lost.
+  for (const RunResult* result : {&first, &second}) {
+    uint64_t component_sum = 0;
+    for (int c = 0; c < trace::kNumComponents; c++) {
+      component_sum += result->stats.media_write_bytes_by_component[c];
+    }
+    EXPECT_EQ(component_sum, result->stats.media_write_bytes);
+  }
+}
+
+// Driver-paced GC epochs (RunConfig::gc_epoch_ops) are part of the same
+// contract: pinning rounds to driver epochs must be reproducible too.
+TEST(DriverDeterminismTest, DriverGcEpochRunsAreBitIdentical) {
+  IndexConfig index_config;
+  index_config.tree.background_gc = false;  // GC paced by the driver instead
+  index_config.tree.th_log_pct = 10;
+  RunConfig config = SmallConfig();
+  config.gc_epoch_ops = 512;
+  RunResult first = RunIndexWorkload("cclbtree", config, index_config);
+  RunResult second = RunIndexWorkload("cclbtree", config, index_config);
+  ExpectIdenticalVirtualMetrics(first, second);
+  uint64_t gc_bytes = first.stats.media_write_bytes_for(trace::Component::kGc);
+  EXPECT_GT(gc_bytes, 0u) << "driver epochs never ticked a GC round";
+  EXPECT_EQ(gc_bytes, second.stats.media_write_bytes_for(trace::Component::kGc));
 }
 
 // Determinism must hold for a baseline index too (different code path: no

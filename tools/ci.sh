@@ -3,16 +3,20 @@
 #
 #   1. tier-1: default build + full ctest (the gate every change must pass)
 #   2. crash: quick crash-injection matrix profile (ctest label "crash")
-#   3. ASan+UBSan on the pmsim + trace test subset
-#   4. TSan on the pmsim + trace test subset
+#   3. determinism: staged benches run twice, virtual-metric tails diffed
+#      (run_benches.sh --determinism; DESIGN.md §10)
+#   4. ASan+UBSan on the pmsim + trace + GC-scheduling test subset
+#   5. TSan on the same subset (gc_scheduling_test's kOsThread tests are the
+#      real-concurrency stress of the legacy GC thread)
 #
 # The sanitizer passes cover the code with the trickiest concurrency story —
-# the lock-striped XPBuffer, sharded stats, and the pmtrace ring/registry —
-# without paying for a fully instrumented build of every bench binary.
+# the lock-striped XPBuffer, sharded stats, the pmtrace ring/registry, and
+# the GC thread lifecycle — without paying for a fully instrumented build of
+# every bench binary.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-SANITIZE_FILTER="pmsim|trace"
+SANITIZE_FILTER="pmsim|trace|gc_scheduling"
 
 echo "=== tier-1: configure + build ==="
 cmake -B build -S . >/dev/null
@@ -24,6 +28,14 @@ ctest --test-dir build --output-on-failure -j"$(nproc)"
 # crash-consistency regression is named explicitly in the CI log (DESIGN.md §9).
 echo "=== crash: injection matrix ==="
 ctest --test-dir build -L crash --output-on-failure
+
+# Determinism gate: the paper-figure benches must produce bit-identical
+# virtual-metric tails across back-to-back runs — including cclbtree rows
+# with background GC on (DESIGN.md §10). Small scale: the property being
+# checked is exact equality, not the metric values themselves.
+echo "=== determinism: fig03/fig10/fig14 run twice, tails diffed ==="
+CCL_BENCH_SCALE="${CCL_BENCH_SCALE:-60000}" \
+  ./run_benches.sh --determinism 'fig03|fig10|fig14'
 
 tools/sanitize.sh asan "${SANITIZE_FILTER}"
 tools/sanitize.sh tsan "${SANITIZE_FILTER}"

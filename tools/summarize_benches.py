@@ -3,6 +3,7 @@
 
 Usage: tools/summarize_benches.py [bench_output.txt]
        tools/summarize_benches.py --check FILE.json [FILE.json ...]
+       tools/summarize_benches.py --tail FILE
 
 Default mode parses google-benchmark console rows of the form
     fig10/insert/cclbtree/threads:48/iterations:1  ... Mops=6.97 XBI=8.99 ...
@@ -16,6 +17,12 @@ google-benchmark JSON ("context" + non-empty "benchmarks", every entry
 named) or the bench_pmsim_hotpath schema ("bench": "pmsim_hotpath" +
 non-empty "scenarios" with the expected numeric fields). Exits non-zero on
 the first invalid file.
+
+--tail extracts the deterministic "metric tail" of one bench console log:
+per-row counters (virtual-time metrics, key=value tokens, kept verbatim) and
+the fig14 GC timeline, dropping the wall-clock time columns. Two runs of the
+same bench must produce byte-identical --tail output (the driver determinism
+contract, DESIGN.md §10); run_benches.sh --determinism diffs them.
 """
 import json
 import re
@@ -83,9 +90,38 @@ def run_check(paths: list[str]) -> int:
     return 0
 
 
+def run_tail(paths: list[str]) -> int:
+    if len(paths) != 1:
+        print("--tail requires exactly one file", file=sys.stderr)
+        return 2
+    emitted = 0
+    with open(paths[0]) as handle:
+        for line in handle:
+            line = line.rstrip()
+            if line.startswith(("w/o-GC", "locality-GC", "naive-GC")):
+                print(line)  # fig14 timeline rows are fully virtual-time
+                emitted += 1
+                continue
+            match = ROW.match(line.strip())
+            if not match:
+                continue
+            counters = COUNTER.findall(match.group("rest"))
+            print(match.group("name") + "  " +
+                  " ".join(f"{key}={value}" for key, value in counters))
+            emitted += 1
+    if emitted == 0:
+        # An empty tail would make any determinism diff vacuously pass.
+        print(f"summarize_benches.py: {paths[0]}: no metric rows found",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def main() -> int:
     if len(sys.argv) > 1 and sys.argv[1] == "--check":
         return run_check(sys.argv[2:])
+    if len(sys.argv) > 1 and sys.argv[1] == "--tail":
+        return run_tail(sys.argv[2:])
     path = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
     experiments = defaultdict(list)  # prefix -> [(config, {counter: value})]
     gc_timeline = []
