@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstring>
 
+#include "src/pmsim/pmcheck.h"
 #include "src/trace/trace.h"
 
 namespace cclbt::baselines {
@@ -25,7 +26,11 @@ DpTree::DpTree(kvindex::Runtime& runtime, const Options& options)
   auto* head = static_cast<BigLeaf*>(leaf_slab_->Allocate(0));
   assert(head != nullptr);
   head->count = 0;
-  pmsim::Persist(head, 64);
+  {
+    // Formatting persist of the empty head leaf (see LeafTree's constructor).
+    pmsim::PmCheckExpect format_expect(pmsim::PmCheckClass::kRedundantFlush);
+    pmsim::Persist(head, 64);
+  }
   base_index_.Insert(0, head);
 }
 
@@ -111,6 +116,11 @@ void DpTree::RewriteLeaf(uint64_t sep, BigLeaf* leaf,
     assert(fresh != nullptr && "PM exhausted");
     fresh->count = n;
     std::memcpy(fresh->kvs, merged.data() + written, n * sizeof(kvindex::KeyValue));
+    // Copy-on-write rewrite: a recycled slab slot may already hold much of
+    // the merged content durably (same leaf rewritten across merges), which
+    // pmcheck sees as clean-line flushes. The whole-leaf persist is the COW
+    // design — the writer cannot cheaply diff against media.
+    pmsim::PmCheckExpect cow_expect(pmsim::PmCheckClass::kRedundantFlush);
     pmsim::Persist(fresh, 64 + n * sizeof(kvindex::KeyValue));
     uint64_t piece_sep = first_piece ? sep : fresh->kvs[0].key;
     base_index_.Insert(piece_sep, fresh);

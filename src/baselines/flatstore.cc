@@ -25,7 +25,7 @@ const FlatStore::Record* FlatStore::Append(uint64_t key, uint64_t value, bool to
   auto* record = reinterpret_cast<Record*>(log.chunk + log.cursor);
   record->key = key;
   record->value = value;
-  record->meta = tombstone ? 1 : 0;
+  record->meta = kRecordValid | (tombstone ? 1 : 0);
   // Sequential append: consecutive records share XPLines, so the XPBuffer
   // write-combines them (FlatStore's core property).
   pmsim::Persist(record, sizeof(Record));

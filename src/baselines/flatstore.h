@@ -41,8 +41,17 @@ class FlatStore : public kvindex::KvIndex {
   struct Record {  // 24 B PM log record
     uint64_t key;
     uint64_t value;
-    uint64_t meta;  // tombstone flag in bit 0
+    uint64_t meta;  // kRecordValid | tombstone flag in bit 0
   };
+
+  // Every written record carries this marker so a record is distinguishable
+  // from zeroed log space by its own bytes, not just a nonzero key. It also
+  // means a record tail spilling across a cacheline boundary never equals
+  // the fresh line's durable zeros: before the marker, pmcheck correctly
+  // flagged every 8th append (lcm(24 B record, 64 B line)) as flushing a
+  // line whose only written byte was a zero meta word — a flush that
+  // persisted nothing.
+  static constexpr uint64_t kRecordValid = 2;
 
   struct ThreadLog {
     std::byte* chunk = nullptr;

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "src/pmsim/pmcheck.h"
+
 namespace cclbt::baselines {
 
 // One XPLine-quarter per KV: key, value, next pointer, valid flag.
@@ -23,7 +25,11 @@ UTree::UTree(kvindex::Runtime& runtime) : rt_(runtime) {
   head_ = static_cast<ListNode*>(node_slab_->Allocate(0));
   assert(head_ != nullptr);
   std::memset(static_cast<void*>(head_), 0, sizeof(ListNode));
-  pmsim::Persist(head_, sizeof(ListNode));
+  {
+    // Formatting persist of the zeroed head sentinel (see LeafTree's ctor).
+    pmsim::PmCheckExpect format_expect(pmsim::PmCheckClass::kRedundantFlush);
+    pmsim::Persist(head_, sizeof(ListNode));
+  }
   index_.Insert(0, head_);
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <cstring>
 #include <thread>
 
@@ -16,6 +17,10 @@ namespace cclbt::bench {
 namespace {
 
 // Builds a value word: inline for <= 8 B, out-of-band handle otherwise.
+// Callers pass an even seed_word that is unique across the whole run (warm,
+// insert, and update phases use disjoint ranges): rewriting a key must always
+// change its value, or the rewrite persists a cacheline whose content already
+// equals the durable image — a redundant flush pmcheck rightly flags.
 uint64_t MakeValue(kvindex::Runtime& rt, const RunConfig& config, uint64_t seed_word) {
   if (config.value_bytes <= 8) {
     return seed_word | 1;
@@ -136,7 +141,7 @@ RunResult RunWorkload(kvindex::Runtime& runtime, kvindex::KvIndex& index,
       uint64_t& i = cursor[static_cast<size_t>(w)];
       uint64_t end = std::min(limit[static_cast<size_t>(w)], i + kSliceOps);
       for (; i < end; i++) {
-        index.Upsert(WarmKey(config, i), MakeValue(runtime, config, i + 1));
+        index.Upsert(WarmKey(config, i), MakeValue(runtime, config, (i + 1) << 1));
       }
       return i < limit[static_cast<size_t>(w)];
     });
@@ -231,7 +236,7 @@ RunResult RunWorkload(kvindex::Runtime& runtime, kvindex::KvIndex& index,
           key = Mix64(config.warm_keys + i) | 1;
         }
         ctx->stats_shard().AddUserBytes(write_bytes);
-        index.Upsert(key, MakeValue(runtime, config, i + 1));
+        index.Upsert(key, MakeValue(runtime, config, (config.warm_keys + i + 1) << 1));
         break;
       }
       case OpType::kUpdate: {
@@ -239,7 +244,7 @@ RunResult RunWorkload(kvindex::Runtime& runtime, kvindex::KvIndex& index,
                            ? Mix64(st.zipf.NextRank() % config.warm_keys) | 1
                            : WarmKey(config, st.rng.NextBounded(config.warm_keys));
         ctx->stats_shard().AddUserBytes(write_bytes);
-        index.Upsert(key, MakeValue(runtime, config, i + 7));
+        index.Upsert(key, MakeValue(runtime, config, (config.warm_keys + config.ops + i + 1) << 1));
         break;
       }
       case OpType::kDelete: {
@@ -347,6 +352,9 @@ RunResult RunWorkload(kvindex::Runtime& runtime, kvindex::KvIndex& index,
     }
   }
   result.footprint = index.Footprint();
+  if (pmsim::PmCheck* check = runtime.device().pmcheck(); check != nullptr) {
+    result.pmcheck = check->Snapshot();
+  }
 
   if (tracing) {
     result.trace_dump_path =
@@ -368,14 +376,38 @@ RunResult RunIndexWorkload(const std::string& index_name, const RunConfig& confi
   // When a trace dump is requested, also record the per-XPLine heatmap (the
   // counters only exist when enabled at device construction).
   runtime_options.device.record_unit_heatmap = TraceDumpRequested();
+  runtime_options.device.pmcheck = config.pmcheck;
   kvindex::Runtime runtime(runtime_options);
   auto index = MakeIndex(index_name, runtime, index_config);
-  if (config.trace_label.empty()) {
-    RunConfig labeled = config;
-    labeled.trace_label = index_name;
-    return RunWorkload(runtime, *index, labeled);
+  const std::string label = config.trace_label.empty() ? index_name : config.trace_label;
+  RunConfig labeled = config;
+  labeled.trace_label = label;
+  RunResult result = RunWorkload(runtime, *index, labeled);
+  if (pmsim::PmCheck* check = runtime.device().pmcheck(); check != nullptr) {
+    // The runtime is torn down on return, so this is the pool close from the
+    // checker's point of view: run the unflushed-at-close scan and take the
+    // final report. Happens after the metric snapshot above — media traffic
+    // drained here never reaches the returned stats, and no virtual time is
+    // charged (determinism contract, DESIGN.md §10).
+    runtime.device().DrainBuffers();
+    result.pmcheck = check->Snapshot();
+    if (!result.trace_dump_path.empty()) {
+      AppendPmCheckSection(result.trace_dump_path, result.pmcheck);
+    }
+    std::fprintf(stderr, "pmcheck[%s]: %llu violation(s), %llu suppressed, %llu fence epochs\n",
+                 label.c_str(), static_cast<unsigned long long>(result.pmcheck.total()),
+                 static_cast<unsigned long long>(result.pmcheck.total_suppressed()),
+                 static_cast<unsigned long long>(result.pmcheck.fence_epochs));
+    for (int c = 0; c < pmsim::kNumPmCheckClasses; c++) {
+      if (result.pmcheck.counts[static_cast<size_t>(c)] != 0) {
+        std::fprintf(stderr, "pmcheck[%s]:   %-20s %llu\n", label.c_str(),
+                     pmsim::PmCheckClassName(static_cast<pmsim::PmCheckClass>(c)),
+                     static_cast<unsigned long long>(
+                         result.pmcheck.counts[static_cast<size_t>(c)]));
+      }
+    }
   }
-  return RunWorkload(runtime, *index, config);
+  return result;
 }
 
 }  // namespace cclbt::bench

@@ -23,6 +23,7 @@
 #include "src/common/ycsb.h"
 #include "src/kvindex/kv_index.h"
 #include "src/kvindex/runtime.h"
+#include "src/pmsim/pmcheck.h"
 #include "src/trace/component.h"
 
 namespace cclbt::bench {
@@ -78,6 +79,12 @@ struct RunConfig {
   // Concurrency correctness is covered by the test suite, which always uses
   // real threads.
   bool os_parallel = false;
+  // Enable the pmcheck persistency checker (DESIGN.md §11) on the run's
+  // device. Equivalent to CCL_PMCHECK=1 (the environment variable overrides
+  // in either direction). Diagnostics are returned in RunResult::pmcheck and,
+  // when a trace dump is written, appended to it for `pmctl check`. Never
+  // perturbs virtual-time metrics.
+  bool pmcheck = false;
 };
 
 struct RunResult {
@@ -95,6 +102,10 @@ struct RunResult {
   // Path of the .pmtrace dump written for this run ("" when CCL_TRACE unset).
   std::string trace_dump_path;
   kvindex::MemoryFootprint footprint;
+  // pmcheck report (enabled == false unless the checker ran). RunIndexWorkload
+  // refreshes it after an end-of-run DrainBuffers so the unflushed-at-close
+  // class is included; RunWorkload alone reports the phases it saw.
+  pmsim::PmCheckReport pmcheck;
 };
 
 // Loads `config.warm_keys` distinct keys (or the preset set), then runs the

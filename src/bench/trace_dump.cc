@@ -142,4 +142,35 @@ std::string WriteTraceDump(kvindex::Runtime& runtime, const std::string& label,
   return path;
 }
 
+bool AppendPmCheckSection(const std::string& path, const pmsim::PmCheckReport& report) {
+  if (!report.enabled) {
+    return true;  // nothing to append; `pmctl check` reports not-enabled
+  }
+  std::ofstream out(path, std::ios::app);
+  if (!out) {
+    return false;
+  }
+  out << "pmcheck 1\n";
+  out << "pmcheckstat fence_epochs " << report.fence_epochs << "\n";
+  out << "pmcheckstat lines_tracked " << report.lines_tracked << "\n";
+  out << "pmcheckstat diagnostics_dropped " << report.diagnostics_dropped << "\n";
+  for (int c = 0; c < pmsim::kNumPmCheckClasses; c++) {
+    out << "pmcheckclass " << pmsim::PmCheckClassName(static_cast<pmsim::PmCheckClass>(c))
+        << " " << report.counts[static_cast<size_t>(c)] << " "
+        << report.suppressed[static_cast<size_t>(c)] << "\n";
+  }
+  for (const pmsim::PmCheckDiagnostic& d : report.diagnostics) {
+    out << "pmcheckdiag " << pmsim::PmCheckClassName(d.cls) << " " << d.line << " "
+        << d.xpline << " " << d.dimm << " " << trace::ComponentName(d.comp) << " "
+        << d.worker << " " << d.fence_epoch << " " << d.detail << "\n";
+    for (const pmsim::PmCheckEvent& ev : d.recent) {
+      out << "pmcheckev " << pmsim::PmCheckEventKindName(ev.kind) << " "
+          << trace::ComponentName(ev.comp) << " " << ev.worker << " " << ev.detail << " "
+          << ev.fence_epoch << "\n";
+    }
+  }
+  out.flush();
+  return static_cast<bool>(out);
+}
+
 }  // namespace cclbt::bench

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/kvindex/runtime.h"
+#include "src/pmsim/pmcheck.h"
 #include "src/pmsim/stats.h"
 
 namespace cclbt::bench {
@@ -42,6 +43,13 @@ std::string WriteTraceDump(kvindex::Runtime& runtime, const std::string& label,
                            const pmsim::StatsSnapshot& stats,
                            const std::vector<TimelineSample>& timeline,
                            double elapsed_virtual_ms);
+
+// Appends the pmcheck section (pmcheck/pmcheckstat/pmcheckclass/pmcheckdiag/
+// pmcheckev keyword lines, consumed by `pmctl check`) to an already-written
+// dump. Appended after the end-of-run close scan so the unflushed-at-close
+// class is included; older pmctl builds skip the unknown keywords. Returns
+// false if the dump cannot be written.
+bool AppendPmCheckSection(const std::string& path, const pmsim::PmCheckReport& report);
 
 }  // namespace cclbt::bench
 

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <unordered_set>
 
+#include "src/pmsim/pmcheck.h"
+
 namespace cclbt::core {
 
 namespace {
@@ -27,10 +29,14 @@ CclHashTable::CclHashTable(kvindex::Runtime& runtime, const Options& options)
       rt_.pool().AllocateRaw(directory_bytes, 0, pmsim::StreamTag::kLeaf));
   assert(buckets_ != nullptr && "PM exhausted for bucket directory");
   std::memset(static_cast<void*>(buckets_), 0, directory_bytes);
-  // Persist the zeroed directory header lines lazily: a fresh bucket with
-  // bitmap 0 is already its persistent state under Crash() only if flushed.
-  for (size_t b = 0; b < options_.num_buckets; b++) {
-    pmsim::FlushLine(Bucket(b));
+  {
+    // Persist the zeroed directory header lines lazily: a fresh bucket with
+    // bitmap 0 is already its persistent state under Crash() only if flushed.
+    // Formatting persist — content-equal to a fresh pool's zeroes by design.
+    pmsim::PmCheckExpect format_expect(pmsim::PmCheckClass::kRedundantFlush);
+    for (size_t b = 0; b < options_.num_buckets; b++) {
+      pmsim::FlushLine(Bucket(b));
+    }
   }
   pmsim::Fence();
 
@@ -258,7 +264,12 @@ void CclHashTable::BatchInsertBucket(BufferNode* bn, kvindex::KeyValue* kvs, int
       auto* fresh = static_cast<PmLeaf*>(overflow_slab_->Allocate(ctx->socket()));
       assert(fresh != nullptr && "PM exhausted");
       std::memset(static_cast<void*>(fresh), 0, kLeafBytes);
-      pmsim::Persist(fresh, kLeafBytes);
+      {
+        // Formatting persist of the zeroed overflow bucket before it is
+        // linked; clean-line flushes on a fresh slab slot are intentional.
+        pmsim::PmCheckExpect format_expect(pmsim::PmCheckClass::kRedundantFlush);
+        pmsim::Persist(fresh, kLeafBytes);
+      }
       tail->meta.store(MakeMeta(tail->bitmap(), rt_.pool().ToOffset(fresh)),
                        std::memory_order_release);
       pmsim::FlushLine(tail);

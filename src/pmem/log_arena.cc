@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "src/pmsim/pmcheck.h"
 #include "src/trace/trace.h"
 
 namespace cclbt::pmem {
@@ -15,7 +16,11 @@ std::unique_ptr<LogArena> LogArena::Create(PmPool& pool, size_t max_chunks) {
   assert(mem != nullptr);
   arena->registry_ = reinterpret_cast<Registry*>(mem);
   arena->registry_->chunk_count = 0;
-  pmsim::Persist(&arena->registry_->chunk_count, sizeof(uint64_t));
+  {
+    // Formatting persist of the zero count (clean-line on a fresh pool).
+    pmsim::PmCheckExpect format_expect(pmsim::PmCheckClass::kRedundantFlush);
+    pmsim::Persist(&arena->registry_->chunk_count, sizeof(uint64_t));
+  }
   return arena;
 }
 

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "src/common/rng.h"
+#include "src/pmsim/pmcheck.h"
 #include "src/trace/trace.h"
 
 namespace cclbt::pmem {
@@ -52,7 +53,13 @@ std::unique_ptr<PmPool> PmPool::Create(pmsim::PmDevice& device) {
     root->bump_offset[socket] =
         socket == 0 ? AlignUp(kSuperblockBytes, kAllocAlign) : region_start;
   }
-  pmsim::Persist(root, sizeof(PoolRoot));
+  {
+    // Formatting persist: zero-valued superblock fields (unused app roots,
+    // padding) are content-equal to a fresh device's zeroes, but formatting
+    // over a previously used device needs every header line durable.
+    pmsim::PmCheckExpect format_expect(pmsim::PmCheckClass::kRedundantFlush);
+    pmsim::Persist(root, sizeof(PoolRoot));
+  }
   return pool;
 }
 

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "src/pmsim/pmcheck.h"
 #include "src/trace/trace.h"
 
 namespace cclbt::pmem {
@@ -21,7 +22,11 @@ std::unique_ptr<SlabAllocator> SlabAllocator::Create(PmPool& pool, const Options
   assert(mem != nullptr);
   slab->registry_ = reinterpret_cast<Registry*>(mem);
   slab->registry_->chunk_count = 0;
-  pmsim::Persist(&slab->registry_->chunk_count, sizeof(uint64_t));
+  {
+    // Formatting persist of the zero count (clean-line on a fresh pool).
+    pmsim::PmCheckExpect format_expect(pmsim::PmCheckClass::kRedundantFlush);
+    pmsim::Persist(&slab->registry_->chunk_count, sizeof(uint64_t));
+  }
   return slab;
 }
 

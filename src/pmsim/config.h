@@ -76,6 +76,12 @@ struct DeviceConfig {
   // pool) for the pmtrace heatmap exporter. One extra relaxed increment per
   // media write while on; off by default.
   bool record_unit_heatmap = false;
+  // Enable pmcheck, the persistency-ordering checker (DESIGN.md §11). The
+  // CCL_PMCHECK environment variable overrides this at device construction
+  // ("1" forces on, "0" forces off). Requires the shadow image, so
+  // crash_tracking is forced on; ignored in eADR mode (no explicit
+  // flush/fence discipline to check). Diagnostics never touch virtual time.
+  bool pmcheck = false;
   CostParams cost;
 
   int total_dimms() const { return num_sockets * dimms_per_socket; }

@@ -4,8 +4,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 #include <cstring>
 
+#include "src/pmsim/pmcheck.h"
 #include "src/trace/event.h"
 #include "src/trace/trace.h"
 
@@ -93,6 +95,19 @@ PmDevice::PmDevice(const DeviceConfig& config)
     : config_(config),
       dimm_busy_until_ns_(static_cast<size_t>(config.total_dimms())) {
   assert(config_.pool_bytes % (config_.socket_region_bytes()) == 0);
+  // pmcheck enablement resolves before the mappings: the checker needs the
+  // shadow image, so it forces crash_tracking on. CCL_PMCHECK overrides the
+  // config flag in either direction ("0" turns a configured checker off for
+  // A/B runs). eADR has no explicit flush/fence discipline to check.
+  if (const char* env = std::getenv("CCL_PMCHECK"); env != nullptr && env[0] != '\0') {
+    config_.pmcheck = env[0] == '1';
+  }
+  if (config_.eadr) {
+    config_.pmcheck = false;
+  }
+  if (config_.pmcheck) {
+    config_.crash_tracking = true;
+  }
   socket_shift_ = ShiftFor(config_.socket_region_bytes());
   interleave_shift_ = ShiftFor(config_.interleave_bytes);
   unit_shift_ = ShiftFor(config_.xpline_bytes);
@@ -126,6 +141,9 @@ PmDevice::PmDevice(const DeviceConfig& config)
   }
   eadr_cache_.reserve(config_.eadr_cache_lines + 1);
   trace::SetRingFactory(&RingFactoryImpl);
+  if (config_.pmcheck) {
+    pmcheck_ = std::make_unique<PmCheck>(*this);
+  }
 }
 
 PmDevice::~PmDevice() {
@@ -177,7 +195,10 @@ void PmDevice::FlushLine(ThreadContext& ctx, const void* addr) {
   ctx.AdvanceCpu(config_.cost.cacheline_flush_ns);
   // Dedup within the pending set: repeated clwb of the same line before the
   // fence costs CPU but persists once.
-  ctx.AddPendingLine(line);
+  const bool newly_pending = ctx.AddPendingLine(line);
+  if (pmcheck_ != nullptr) {
+    pmcheck_->OnFlush(ctx, line, newly_pending);
+  }
 }
 
 void PmDevice::Fence(ThreadContext& ctx) {
@@ -193,7 +214,13 @@ void PmDevice::Fence(ThreadContext& ctx) {
     return;  // No ordering cost modeled in eADR mode.
   }
   ctx.AdvanceCpu(config_.cost.fence_ns);
+  // The pmcheck gate is read once per fence (same pattern as the trace gate
+  // below); disabled runs pay one null test here and nothing in the loop.
+  PmCheck* const check = pmcheck_.get();
   if (ctx.pending_lines_.empty()) {
+    if (check != nullptr) {
+      check->OnUselessFence(ctx);
+    }
     trace::Emit(trace::EventType::kFence, 0);
     return;
   }
@@ -202,18 +229,35 @@ void PmDevice::Fence(ThreadContext& ctx) {
   const trace::Component comp = trace::CurrentComponent();
   ctx.stats_shard().AddCommittedLines(comp, ctx.pending_lines_.size());
   // Likewise the trace gate: one read per fence picks the commit-loop
-  // instantiation, so the disabled loop carries no tracing instructions.
+  // instantiation, so the disabled loop carries no tracing (or checking)
+  // instructions.
   if (trace::Enabled()) {
     trace::Emit(trace::EventType::kFence, ctx.pending_lines_.size());
-    for (uintptr_t line : ctx.pending_lines_) {
-      CommitLine<true>(ctx, line, comp);
+    if (check != nullptr) {
+      CommitPending<true, true>(ctx, comp);
+    } else {
+      CommitPending<true, false>(ctx, comp);
     }
   } else {
-    for (uintptr_t line : ctx.pending_lines_) {
-      CommitLine<false>(ctx, line, comp);
+    if (check != nullptr) {
+      CommitPending<false, true>(ctx, comp);
+    } else {
+      CommitPending<false, false>(ctx, comp);
     }
   }
   ctx.ClearPending();
+}
+
+template <bool kTraced, bool kChecked>
+void PmDevice::CommitPending(ThreadContext& ctx, trace::Component comp) {
+  if constexpr (kChecked) {
+    // Class-3 (dirty-at-fence) verification + Durable transition for the
+    // whole pending set, before the commit loop copies lines to the shadow.
+    pmcheck_->OnFenceCommit(ctx, ctx.pending_lines_, comp);
+  }
+  for (uintptr_t line : ctx.pending_lines_) {
+    CommitLine<kTraced>(ctx, line, comp);
+  }
 }
 
 void PmDevice::PersistRange(ThreadContext& ctx, const void* addr, size_t len) {
@@ -315,6 +359,9 @@ void PmDevice::PushThroughXpBufferAccountingOnly(uintptr_t line_offset) {
 
 void PmDevice::ReadPm(ThreadContext& ctx, const void* addr, size_t len) {
   assert(Contains(addr));
+  if (pmcheck_ != nullptr) {
+    pmcheck_->OnReadRange(ctx, OffsetOf(addr), len);
+  }
   size_t unit = config_.xpline_bytes;
   uintptr_t start = UnitOf(OffsetOf(addr));
   uintptr_t end = UnitOf(OffsetOf(addr) + len + unit - 1);
@@ -377,6 +424,12 @@ void PmDevice::EadrCacheInsert(ThreadContext& ctx, uintptr_t line_offset) {
 }
 
 void PmDevice::DrainBuffers() {
+  if (pmcheck_ != nullptr) {
+    // Pool close from the checker's point of view: anything still dirty now
+    // was never made durable (class 4). Runs before the drains below, which
+    // only move already-durable XPLines to media.
+    pmcheck_->OnClose();
+  }
   // Flush the modeled CPU cache first (eADR), then the XPBuffers.
   if (config_.eadr) {
     std::lock_guard<std::mutex> guard(eadr_mu_);
@@ -410,6 +463,12 @@ void PmDevice::DrainBuffers() {
 
 void PmDevice::Crash() {
   assert(shadow_.data != nullptr && "Crash() requires crash_tracking");
+  if (pmcheck_ != nullptr) {
+    // An injector-scheduled crash is the harness doing its job — in-flight
+    // state is expected there, so the class-4 scan only runs for crashes
+    // nobody scheduled.
+    pmcheck_->OnCrash(injector_ != nullptr && injector_->fired());
+  }
   uint64_t lines_dropped = 0;
   {
     std::lock_guard<std::mutex> guard(contexts_mu_);
@@ -429,6 +488,9 @@ void PmDevice::Crash() {
 
 void PmDevice::CrashTorn(uint64_t seed) {
   assert(shadow_.data != nullptr && "CrashTorn() requires crash_tracking");
+  if (pmcheck_ != nullptr) {
+    pmcheck_->OnCrash(injector_ != nullptr && injector_->fired());
+  }
   Rng rng(seed);
   uint64_t lines_dropped = 0;
   uint64_t torn_lines_applied = 0;

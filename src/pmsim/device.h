@@ -32,6 +32,8 @@
 
 namespace cclbt::pmsim {
 
+class PmCheck;
+
 class PmDevice {
  public:
   explicit PmDevice(const DeviceConfig& config);
@@ -118,6 +120,12 @@ class PmDevice {
   void SetCrashInjector(CrashInjector* injector) { injector_ = injector; }
   CrashInjector* crash_injector() const { return injector_; }
 
+  // The persistency-ordering checker (DESIGN.md §11), present only when
+  // enabled via DeviceConfig::pmcheck or CCL_PMCHECK=1 at construction;
+  // nullptr otherwise. The pointer doubles as the runtime gate: the fence
+  // path reads it once per fence (same pattern as the crash injector).
+  PmCheck* pmcheck() const { return pmcheck_.get(); }
+
   // Largest virtual completion time across DIMM write servers; a run's
   // modeled elapsed time is max(worker clocks, this).
   uint64_t MaxDimmBusyNs() const;
@@ -144,7 +152,14 @@ class PmDevice {
 
  private:
   friend class ThreadContext;
+  friend class PmCheck;  // reads pool_/shadow_/config_ at construction
 
+  // Commits ctx's whole pending set: pmcheck hook (when kChecked) followed by
+  // the per-line CommitLine loop. Templated on both runtime gates so Fence
+  // reads each gate once and the unchecked/untraced instantiation carries
+  // zero checker/tracing instructions (DESIGN.md §8, §11).
+  template <bool kTraced, bool kChecked>
+  void CommitPending(ThreadContext& ctx, trace::Component comp);
   // Copies one line to the shadow image and pushes it through the XPBuffer,
   // charging media costs to `ctx`. `comp` is the component whose scope
   // committed the line (stamped into the buffered XPLine for attribution at
@@ -222,6 +237,7 @@ class PmDevice {
   Mapping shadow_;
   Stats stats_;
   CrashInjector* injector_ = nullptr;
+  std::unique_ptr<PmCheck> pmcheck_;  // persistency checker; null = disabled
   std::vector<std::unique_ptr<XpBuffer>> xpbuffers_;  // one per DIMM
   // One virtual write-server timeline per DIMM, cacheline-padded against
   // false sharing and stored contiguously. Plain (non-atomic) because every

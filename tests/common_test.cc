@@ -234,7 +234,7 @@ TEST_P(SosdDatasetTest, Deterministic) {
 INSTANTIATE_TEST_SUITE_P(AllDatasets, SosdDatasetTest,
                          ::testing::Values(SosdDataset::kAmzn, SosdDataset::kOsm,
                                            SosdDataset::kWiki, SosdDataset::kFacebook),
-                         [](const auto& info) { return SosdDatasetName(info.param); });
+                         [](const auto& name_info) { return SosdDatasetName(name_info.param); });
 
 TEST(Ycsb, MixFractionsRoughlyRespected) {
   YcsbOpPicker picker(kYcsbInsertIntensive, 17);

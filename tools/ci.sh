@@ -1,12 +1,19 @@
 #!/bin/bash
 # The repo's CI entry point, runnable locally:
 #
-#   1. tier-1: default build + full ctest (the gate every change must pass)
-#   2. crash: quick crash-injection matrix profile (ctest label "crash")
-#   3. determinism: staged benches run twice, virtual-metric tails diffed
-#      (run_benches.sh --determinism; DESIGN.md §10)
-#   4. ASan+UBSan on the pmsim + trace + GC-scheduling test subset
-#   5. TSan on the same subset (gc_scheduling_test's kOsThread tests are the
+#   1. lint: tools/lint_pm_api.py --self-test (repo persistence/determinism
+#      rules; the self-test seeds one violation per rule first)
+#   2. tier-1: -Werror build + full ctest (the gate every change must pass)
+#   3. clang-tidy: static analysis build with .clang-tidy (skipped with a
+#      notice when clang-tidy is not installed)
+#   4. pmcheck: the full test suite re-run with CCL_PMCHECK=1 so every test
+#      workload doubles as a persistency-ordering check (DESIGN.md §11)
+#   5. crash: quick crash-injection matrix profile (ctest label "crash")
+#   6. determinism: staged benches run twice with pmcheck enabled,
+#      virtual-metric tails diffed (run_benches.sh --determinism; §10 —
+#      diagnostics must not perturb virtual time)
+#   7. ASan+UBSan on the pmsim + trace + GC-scheduling + pmcheck test subset
+#   8. TSan on the same subset (gc_scheduling_test's kOsThread tests are the
 #      real-concurrency stress of the legacy GC thread)
 #
 # The sanitizer passes cover the code with the trickiest concurrency story —
@@ -16,13 +23,33 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-SANITIZE_FILTER="pmsim|trace|gc_scheduling"
+SANITIZE_FILTER="pmsim|trace|gc_scheduling|pmcheck"
 
-echo "=== tier-1: configure + build ==="
-cmake -B build -S . >/dev/null
+echo "=== lint: lint_pm_api.py self-test + tree ==="
+python3 tools/lint_pm_api.py --self-test
+
+echo "=== tier-1: configure + build (-Werror) ==="
+cmake -B build -S . -DWERROR=ON >/dev/null
 cmake --build build -j"$(nproc)"
 echo "=== tier-1: ctest ==="
 ctest --test-dir build --output-on-failure -j"$(nproc)"
+
+# Static analysis: full tree under clang-tidy (checks in .clang-tidy). A
+# separate build dir keeps the analyzed objects away from the tier-1 build.
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "=== clang-tidy: static analysis build ==="
+  cmake -B build-tidy -S . -DCLANG_TIDY=ON >/dev/null
+  cmake --build build-tidy -j"$(nproc)"
+else
+  echo "=== clang-tidy: SKIPPED (clang-tidy not installed) ==="
+fi
+
+# Persistency sanitizer pass: every test workload re-run with the pmcheck
+# shadow checker on. Tests that assert pmcheck-off defaults clear the env
+# themselves; pmcheck_test additionally asserts zero diagnostics on a real
+# cclbtree workload, so checker regressions surface here.
+echo "=== pmcheck: ctest with CCL_PMCHECK=1 ==="
+CCL_PMCHECK=1 ctest --test-dir build --output-on-failure -j"$(nproc)"
 
 # Quick crash-matrix profile: reruns just the crash-labelled tests so a
 # crash-consistency regression is named explicitly in the CI log (DESIGN.md §9).
@@ -33,8 +60,8 @@ ctest --test-dir build -L crash --output-on-failure
 # virtual-metric tails across back-to-back runs — including cclbtree rows
 # with background GC on (DESIGN.md §10). Small scale: the property being
 # checked is exact equality, not the metric values themselves.
-echo "=== determinism: fig03/fig10/fig14 run twice, tails diffed ==="
-CCL_BENCH_SCALE="${CCL_BENCH_SCALE:-60000}" \
+echo "=== determinism: fig03/fig10/fig14 run twice, tails diffed (pmcheck on) ==="
+CCL_PMCHECK=1 CCL_BENCH_SCALE="${CCL_BENCH_SCALE:-60000}" \
   ./run_benches.sh --determinism 'fig03|fig10|fig14'
 
 tools/sanitize.sh asan "${SANITIZE_FILTER}"

@@ -1,0 +1,202 @@
+#!/usr/bin/env python3
+"""Repo-rule linter for the pmsim persistence API and determinism contract.
+
+Everything in this repo runs against the simulated PM device, so raw x86
+persistence intrinsics must never appear outside src/pmsim/ (where a real-PM
+backend would live), and nothing inside a measured region may consult wall
+clocks or nondeterministic RNGs — virtual-metric tails are diffed bit-for-bit
+by the determinism CI gate (DESIGN.md s10).
+
+Rules (R1-R4; see RULES below for the authoritative patterns):
+  R1  raw persistence intrinsics (_mm_clwb/_mm_clflush*/_mm_sfence/...,
+      __builtin_ia32_*, inline asm) outside src/pmsim/
+  R2  wall-clock (std::chrono clocks, gettimeofday, sleep_for/sleep_until)
+      in src/ or bench/; sleep_for/sleep_until additionally banned in tests
+      (tests may use steady_clock deadlines to bound waits, never sleeps)
+  R3  nondeterministic RNG (rand/srand/std::random_device/mt19937) in src/
+      or bench/ — seeded cclbt::Rng (src/common/rng.h) is the sanctioned RNG
+  R4  x86 intrinsic headers (<x86intrin.h>/<immintrin.h>/<emmintrin.h>)
+      outside src/pmsim/
+
+Usage:
+  tools/lint_pm_api.py [--root DIR]   # lint the tree, exit 1 on violations
+  tools/lint_pm_api.py --self-test    # seed violations in a temp tree and
+                                      # assert every rule fires, then make
+                                      # sure the real tree passes
+"""
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+# Directories scanned, relative to the repo root.
+SCAN_DIRS = ("src", "bench", "tests", "tools", "examples")
+
+CXX_EXTS = (".cc", ".h")
+
+# Wall-clock sleeps are banned everywhere: a sleeping test is a flaky test,
+# and a sleeping bench perturbs the op stream. Waiting code polls virtual
+# state under a steady_clock *deadline* instead (see gc_scheduling_test.cc).
+SLEEP_RE = re.compile(r"sleep_for|sleep_until|\busleep\s*\(|\bnanosleep\s*\(")
+
+# Wall-clock reads; allowed in tests (deadlines) and in the two benches that
+# measure real elapsed time by design (hotpath A/B, recovery wall time).
+WALLCLOCK_RE = re.compile(
+    r"std::chrono::(steady_clock|system_clock|high_resolution_clock)"
+    r"|\bgettimeofday\s*\(|\bclock_gettime\s*\("
+)
+WALLCLOCK_FILE_ALLOWLIST = {
+    "bench/bench_pmsim_hotpath.cc",   # wall-clock A/B parity is the product
+    "bench/bench_fig17_recovery.cc",  # recovery wall time is the figure
+}
+
+INTRINSIC_RE = re.compile(
+    r"_mm_(clwb|clflush|clflushopt|sfence|mfence|stream_\w+)\s*\("
+    r"|__builtin_ia32_\w+"
+    r"|\b__asm__\b|\basm\s*(volatile)?\s*\("
+)
+INTRINSIC_HEADER_RE = re.compile(r'#\s*include\s*<(x86intrin|immintrin|emmintrin)\.h>')
+
+NONDET_RNG_RE = re.compile(
+    r"std::random_device|std::mt19937|\bsrand\s*\(|[^_\w.]rand\s*\(\s*\)"
+)
+
+# (rule, regex, predicate(relpath) -> bool applies, message)
+RULES = [
+    (
+        "R1",
+        INTRINSIC_RE,
+        lambda p: not p.startswith("src/pmsim/"),
+        "raw persistence intrinsic / inline asm outside src/pmsim/ "
+        "(use pmsim::FlushLine/Fence/Persist)",
+    ),
+    (
+        "R2",
+        SLEEP_RE,
+        lambda p: True,
+        "wall-clock sleep (poll virtual state under a steady_clock deadline instead)",
+    ),
+    (
+        "R2",
+        WALLCLOCK_RE,
+        lambda p: (p.startswith("src/") and not p.startswith("src/pmsim/"))
+        or (p.startswith("bench/") and p not in WALLCLOCK_FILE_ALLOWLIST),
+        "wall-clock read in measured code (use pmsim virtual time)",
+    ),
+    (
+        "R3",
+        NONDET_RNG_RE,
+        lambda p: p.startswith("src/") or p.startswith("bench/"),
+        "nondeterministic RNG in measured code (use the seeded cclbt::Rng)",
+    ),
+    (
+        "R4",
+        INTRINSIC_HEADER_RE,
+        lambda p: not p.startswith("src/pmsim/"),
+        "x86 intrinsic header outside src/pmsim/",
+    ),
+]
+
+COMMENT_RE = re.compile(r"^\s*(//|\*)")
+
+
+def lint_tree(root):
+    """Returns a list of (relpath, lineno, rule, message) violations."""
+    violations = []
+    for scan_dir in SCAN_DIRS:
+        top = os.path.join(root, scan_dir)
+        for dirpath, _, filenames in os.walk(top):
+            for name in sorted(filenames):
+                if not name.endswith(CXX_EXTS):
+                    continue
+                path = os.path.join(dirpath, name)
+                rel = os.path.relpath(path, root).replace(os.sep, "/")
+                with open(path, encoding="utf-8", errors="replace") as f:
+                    for lineno, line in enumerate(f, start=1):
+                        if COMMENT_RE.match(line):
+                            continue
+                        if "lint_pm_api: allow" in line:
+                            continue
+                        for rule, pattern, applies, message in RULES:
+                            if applies(rel) and pattern.search(line):
+                                violations.append((rel, lineno, rule, message))
+    return violations
+
+
+# Each self-test case seeds one file and names the rule that must fire on it.
+SELF_TEST_CASES = [
+    ("src/core/bad_clwb.cc", "void f(char* p) { _mm_clwb(p); }\n", "R1"),
+    ("bench/bad_asm.cc", 'void f() { __asm__ volatile("sfence"); }\n', "R1"),
+    (
+        "tests/bad_sleep.cc",
+        "#include <thread>\nvoid f() { std::this_thread::sleep_for(std::chrono::seconds(1)); }\n",
+        "R2",
+    ),
+    (
+        "src/core/bad_clock.cc",
+        "long f() { return std::chrono::steady_clock::now().time_since_epoch().count(); }\n",
+        "R2",
+    ),
+    ("bench/bad_rng.cc", "#include <random>\nstd::mt19937 g;\n", "R3"),
+    ("src/core/bad_header.cc", "#include <immintrin.h>\n", "R4"),
+    # pmsim is exempt from R1/R4: must NOT fire.
+    ("src/pmsim/real_backend.cc", "#include <immintrin.h>\nvoid f(char* p) { _mm_clwb(p); }\n", None),
+    # Annotated escape hatch: must NOT fire.
+    ("src/core/annotated.cc", "void f() { __asm__(\"\"); }  // lint_pm_api: allow\n", None),
+]
+
+
+def self_test(root):
+    with tempfile.TemporaryDirectory(prefix="lint_pm_api_selftest_") as tmp:
+        for rel, content, _ in SELF_TEST_CASES:
+            path = os.path.join(tmp, rel)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(content)
+        violations = lint_tree(tmp)
+        by_file = {v[0]: v[2] for v in violations}
+        failures = []
+        for rel, _, want_rule in SELF_TEST_CASES:
+            got = by_file.get(rel)
+            if got != want_rule:
+                failures.append(f"{rel}: expected {want_rule}, linter reported {got}")
+        if failures:
+            print("lint_pm_api self-test FAILED:")
+            for f in failures:
+                print(f"  {f}")
+            return 1
+    real = lint_tree(root)
+    if real:
+        print(f"lint_pm_api self-test FAILED: real tree has {len(real)} violation(s):")
+        report(real)
+        return 1
+    print(f"lint_pm_api self-test OK ({len(SELF_TEST_CASES)} seeded cases, real tree clean)")
+    return 0
+
+
+def report(violations):
+    for rel, lineno, rule, message in violations:
+        print(f"{rel}:{lineno}: [{rule}] {message}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=os.path.join(os.path.dirname(__file__), ".."))
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args()
+    root = os.path.abspath(args.root)
+    if args.self_test:
+        return self_test(root)
+    violations = lint_tree(root)
+    if violations:
+        report(violations)
+        print(f"lint_pm_api: {len(violations)} violation(s)")
+        return 1
+    print("lint_pm_api: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,7 @@
 //   pmctl watch   <dump>            stats timeline as per-interval rates
 //   pmctl heatmap <dump> [--cols N] ASCII XPLine write-count heatmap
 //   pmctl trace   <dump> [-o f]     Chrome trace-event JSON (Perfetto-loadable)
+//   pmctl check   <dump>            pmcheck persistency report; exit 3 on violations
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -45,6 +46,33 @@ struct Sample {
   uint64_t fences = 0;
 };
 
+// One recent-event line attached to a pmcheck diagnostic.
+struct CheckEvent {
+  std::string kind;
+  std::string comp;
+  int worker = 0;
+  uint64_t detail = 0;
+  uint64_t fence_epoch = 0;
+};
+
+struct CheckDiag {
+  std::string cls;
+  uint64_t line = 0;
+  uint64_t xpline = 0;
+  int dimm = 0;
+  std::string comp;
+  int worker = 0;
+  uint64_t fence_epoch = 0;
+  std::string detail;
+  std::vector<CheckEvent> recent;
+};
+
+struct CheckClassRow {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t suppressed = 0;
+};
+
 struct Dump {
   int version = 0;
   std::string label;
@@ -57,6 +85,11 @@ struct Dump {
   uint64_t heat_per_bin = 0;
   std::vector<trace::HeatBin> heat_bins;  // sparse, as dumped
   std::vector<trace::NamedRing> rings;
+  // pmcheck section (present iff the run had CCL_PMCHECK=1 / RunConfig on).
+  int pmcheck_version = 0;
+  std::vector<std::pair<std::string, uint64_t>> pmcheck_stats;
+  std::vector<CheckClassRow> pmcheck_classes;
+  std::vector<CheckDiag> pmcheck_diags;
 };
 
 uint64_t Stat(const Dump& d, const std::string& name) {
@@ -142,6 +175,30 @@ bool ParseDump(const std::string& path, Dump& d) {
       ev.comp = static_cast<uint8_t>(comp);
       ev.dimm = static_cast<uint16_t>(dimm);
       ring->events.push_back(ev);
+    } else if (kw == "pmcheck") {
+      ss >> d.pmcheck_version;
+    } else if (kw == "pmcheckstat") {
+      std::string name;
+      uint64_t value = 0;
+      ss >> name >> value;
+      d.pmcheck_stats.emplace_back(name, value);
+    } else if (kw == "pmcheckclass") {
+      CheckClassRow row;
+      ss >> row.name >> row.count >> row.suppressed;
+      d.pmcheck_classes.push_back(row);
+    } else if (kw == "pmcheckdiag") {
+      CheckDiag diag;
+      ss >> diag.cls >> diag.line >> diag.xpline >> diag.dimm >> diag.comp >> diag.worker >>
+          diag.fence_epoch >> diag.detail;
+      d.pmcheck_diags.push_back(std::move(diag));
+    } else if (kw == "pmcheckev") {
+      CheckEvent ev;
+      ss >> ev.kind >> ev.comp >> ev.worker >> ev.detail >> ev.fence_epoch;
+      if (d.pmcheck_diags.empty()) {
+        std::cerr << "pmctl: " << path << ":" << lineno << ": pmcheckev outside a diagnostic\n";
+        return false;
+      }
+      d.pmcheck_diags.back().recent.push_back(std::move(ev));
     } else {
       // Unknown keyword: skip (forward compatibility with newer dumps).
       continue;
@@ -346,14 +403,63 @@ int CmdTrace(const Dump& d, const std::string& out_path) {
   return 0;
 }
 
+// Persistency report from the dump's pmcheck section (DESIGN.md §11).
+// Exit status: 0 clean, 2 checker was not enabled for the run, 3 violations.
+int CmdCheck(const Dump& d) {
+  if (d.pmcheck_version == 0) {
+    std::printf("run %s: pmcheck was not enabled for this run\n", d.label.c_str());
+    std::printf("(rerun with CCL_PMCHECK=1 and CCL_TRACE=<prefix> to produce a checked dump)\n");
+    return 2;
+  }
+  uint64_t total = 0;
+  uint64_t suppressed = 0;
+  for (const CheckClassRow& row : d.pmcheck_classes) {
+    total += row.count;
+    suppressed += row.suppressed;
+  }
+  std::printf("run %s: pmcheck %s — %llu violation(s), %llu suppressed\n", d.label.c_str(),
+              total == 0 ? "CLEAN" : "VIOLATIONS", static_cast<unsigned long long>(total),
+              static_cast<unsigned long long>(suppressed));
+  for (const auto& [name, value] : d.pmcheck_stats) {
+    std::printf("  %-22s %14llu\n", name.c_str(), static_cast<unsigned long long>(value));
+  }
+  std::printf("\n-- violations by class --\n");
+  for (const CheckClassRow& row : d.pmcheck_classes) {
+    std::printf("  %-22s %14llu   (%llu suppressed)\n", row.name.c_str(),
+                static_cast<unsigned long long>(row.count),
+                static_cast<unsigned long long>(row.suppressed));
+  }
+  if (!d.pmcheck_diags.empty()) {
+    std::printf("\n-- diagnostics --\n");
+    size_t i = 0;
+    for (const CheckDiag& diag : d.pmcheck_diags) {
+      std::printf("[%zu] %s: %s\n", i++, diag.cls.c_str(), diag.detail.c_str());
+      std::printf("    line 0x%llx (XPLine %llu, DIMM %d), component %s, worker %d, "
+                  "fence epoch %llu\n",
+                  static_cast<unsigned long long>(diag.line),
+                  static_cast<unsigned long long>(diag.xpline), diag.dimm, diag.comp.c_str(),
+                  diag.worker, static_cast<unsigned long long>(diag.fence_epoch));
+      for (const CheckEvent& ev : diag.recent) {
+        std::printf("      ... %-6s comp=%-10s worker=%-3d detail=0x%llx epoch=%llu\n",
+                    ev.kind.c_str(), ev.comp.c_str(), ev.worker,
+                    static_cast<unsigned long long>(ev.detail),
+                    static_cast<unsigned long long>(ev.fence_epoch));
+      }
+    }
+  }
+  return total == 0 ? 0 : 3;
+}
+
 int Usage() {
   std::cerr
-      << "usage: pmctl <stats|watch|heatmap|trace> <dump.pmtrace> [options]\n"
+      << "usage: pmctl <stats|watch|heatmap|trace|check> <dump.pmtrace> [options]\n"
          "  stats   <dump>              counters, amplification, per-component breakdown\n"
          "  watch   <dump>              stats timeline as per-interval rates\n"
          "  heatmap <dump> [--cols N]   ASCII XPLine write heatmap (default 64 cols)\n"
          "  trace   <dump> [-o f.json]  Chrome trace JSON to f.json (default stdout)\n"
-         "Produce dumps by running any bench with CCL_TRACE=<path-prefix>.\n";
+         "  check   <dump>              pmcheck persistency report; exit 3 on violations\n"
+         "Produce dumps by running any bench with CCL_TRACE=<path-prefix>\n"
+         "(add CCL_PMCHECK=1 for a dump `pmctl check` can report on).\n";
   return 64;
 }
 
@@ -369,6 +475,9 @@ int Main(int argc, char** argv) {
   }
   if (cmd == "stats") {
     return CmdStats(d);
+  }
+  if (cmd == "check") {
+    return CmdCheck(d);
   }
   if (cmd == "watch") {
     return CmdWatch(d);
