@@ -1,26 +1,40 @@
-// Wall-clock microbenchmark for the pmsim hot path itself (not an index):
-// FlushLine/Fence/ReadPm mixes at 1 and N OS threads, plus a PersistRange
-// stress that exercises the pending-set dedup. Unlike every other bench in
-// this directory, the reported metric IS host wall time: the simulator's
-// virtual-time results are unaffected by this PR's optimizations by design,
-// so wall throughput of the instrumentation layer is what we track here.
+// Wall-clock microbenchmark for the pmsim hot path and the whole-tree query
+// paths. Unlike every other bench in this directory, the reported metric IS
+// host wall time: virtual-time results are unaffected by these CPU-side
+// optimizations by design, so wall throughput is what we track here.
+//
+// Two scenario families:
+//   * pmsim instrumentation layer: FlushLine/Fence/ReadPm mixes at 1 and N
+//     OS threads, plus a PersistRange stress (pending-set dedup).
+//   * whole-tree CCL-BTree operations: point lookup (hit/miss), upsert,
+//     short scans, at 1 thread and N OS threads. Each read scenario is
+//     paired with a "_scalarlock" A/B baseline — SIMD forced to the scalar
+//     fallback (simd::ForceLevel) and the inner index's optimistic descent
+//     replaced by its shared_mutex path (set_locked_inner_reads) — under an
+//     otherwise identical harness. Scenarios report the median of
+//     kTreeReps reps.
 //
 // Also counts heap allocations during each measured region via a global
 // operator new/delete override, so "allocation-free hot path" is a number in
-// the output rather than a claim in a doc.
+// the output rather than a claim in a doc. Steady-state CCL-BTree lookups
+// and upserts are *asserted* allocation-free (the binary fails otherwise).
 //
 // Usage: bench_pmsim_hotpath [output.json]   (default: BENCH_pmsim.json)
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <new>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/common/simd.h"
+#include "src/core/ccl_btree.h"
 #include "src/pmsim/device.h"
 
 namespace {
@@ -28,6 +42,11 @@ std::atomic<uint64_t> g_heap_allocs{0};
 std::atomic<bool> g_count_allocs{false};
 }  // namespace
 
+// The replacement operators pair new/new[] with malloc and delete/delete[]
+// with free by design; GCC's heuristic flags the cross-family pairing when
+// it inlines both sides into one caller.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
 void* operator new(std::size_t size) {
   if (g_count_allocs.load(std::memory_order_relaxed)) {
     g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
@@ -43,6 +62,7 @@ void operator delete(void* p) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
 
 namespace cclbt::pmsim {
 namespace {
@@ -194,6 +214,189 @@ ScenarioResult RunLargePersist() {
   return Measure("large_persist_1t", 1, kOps, [&] { body(kCalls, 9); });
 }
 
+// --- whole-tree scenarios ----------------------------------------------------
+// Wall-clock cost of complete CCL-BTree operations: DRAM inner descent +
+// buffer-node probe + PM leaf probe (plus WAL/flush on upserts). The pmsim
+// virtual-time charges still run — they are part of every real execution of
+// these paths — so this measures the end-to-end engine, not a stripped copy.
+
+constexpr int kTreeReps = 5;
+constexpr int kTreeReadThreads = 4;
+
+uint64_t TreeScale() {
+  // CCL_BENCH_SCALE (used by CI to shrink runs) caps the keyspace.
+  const char* env = std::getenv("CCL_BENCH_SCALE");
+  uint64_t scale = 400'000;
+  if (env != nullptr) {
+    long long v = std::atoll(env);
+    if (v > 0) {
+      scale = static_cast<uint64_t>(v);
+    }
+  }
+  return scale < 10'000 ? 10'000 : scale;
+}
+
+uint64_t TreeKey(uint64_t i) { return cclbt::Mix64(i) | 1; }  // bijective, nonzero
+
+// Median-of-reps wrapper: runs `body` kTreeReps times and keeps the median
+// wall time; heap_allocs reports the *max* across reps so the zero-alloc
+// assertions cover every rep, not just the median one.
+template <typename Fn>
+ScenarioResult MeasureMedian(const std::string& name, int threads, uint64_t ops, Fn&& body) {
+  std::vector<ScenarioResult> reps;
+  for (int rep = 0; rep < kTreeReps; rep++) {
+    reps.push_back(Measure(name, threads, ops, body));
+  }
+  std::sort(reps.begin(), reps.end(),
+            [](const ScenarioResult& a, const ScenarioResult& b) { return a.wall_ms < b.wall_ms; });
+  ScenarioResult median = reps[reps.size() / 2];
+  for (const auto& r : reps) {
+    median.heap_allocs = std::max(median.heap_allocs, r.heap_allocs);
+  }
+  return median;
+}
+
+// Pins the A/B configuration for one scenario: baseline = scalar SIMD +
+// shared_mutex inner reads; full = detected SIMD + optimistic descent.
+struct TreeAbConfig {
+  core::CclBTree* tree;
+  void Baseline() const {
+    simd::ForceLevel(simd::Level::kScalar);
+    tree->set_locked_inner_reads(true);
+  }
+  void Full() const {
+    simd::ClearForce();
+    tree->set_locked_inner_reads(false);
+  }
+};
+
+struct TreeFixture {
+  std::unique_ptr<kvindex::Runtime> runtime;
+  std::unique_ptr<core::CclBTree> tree;
+  uint64_t scale = 0;
+
+  TreeFixture() {
+    scale = TreeScale();
+    kvindex::RuntimeOptions runtime_options;
+    runtime_options.device.pool_bytes = 2ULL << 30;
+    runtime_options.device.num_sockets = 1;
+    runtime_options.device.crash_tracking = false;
+    runtime = std::make_unique<kvindex::Runtime>(runtime_options);
+    core::TreeOptions tree_options;
+    // GC off: wall-clock scenarios must not interleave GC rounds (the GC
+    // schedule is exercised — and frozen — by the virtual-time benches).
+    tree_options.background_gc = false;
+    tree = std::make_unique<core::CclBTree>(*runtime, tree_options);
+    pmsim::ThreadContext ctx(runtime->device(), 0, 0);
+    for (uint64_t i = 0; i < scale; i++) {
+      tree->Upsert(TreeKey(i), i + 1);
+    }
+    tree->FlushAll();
+  }
+};
+
+// `hit`: probe present keys (buffer/read-cache + leaf fingerprint path);
+// otherwise probe the disjoint key range [scale, 2*scale) (miss path:
+// fingerprint filter rejects, no KV line touched on most probes).
+void LookupWorker(core::CclBTree& tree, uint64_t scale, bool hit, uint64_t ops, uint64_t seed,
+                  std::atomic<uint64_t>& sink) {
+  Rng rng(seed);
+  uint64_t found = 0;
+  uint64_t acc = 0;
+  for (uint64_t i = 0; i < ops; i++) {
+    uint64_t idx = rng.NextBounded(scale) + (hit ? 0 : scale);
+    uint64_t value = 0;
+    if (tree.Lookup(TreeKey(idx), &value)) {
+      found++;
+      acc ^= value;
+    }
+  }
+  sink.fetch_add(found + acc, std::memory_order_relaxed);
+}
+
+ScenarioResult RunTreeLookup1T(TreeFixture& fx, bool hit, bool baseline) {
+  TreeAbConfig ab{fx.tree.get()};
+  baseline ? ab.Baseline() : ab.Full();
+  pmsim::ThreadContext ctx(fx.runtime->device(), 0, 0);
+  const uint64_t kOps = fx.scale;
+  std::atomic<uint64_t> sink{0};
+  LookupWorker(*fx.tree, fx.scale, hit, kOps / 10, 11, sink);  // warm
+  std::string name = std::string("ccl_lookup_") + (hit ? "hit" : "miss") + "_1t" +
+                     (baseline ? "_scalarlock" : "");
+  ScenarioResult result = MeasureMedian(name, 1, kOps, [&] {
+    LookupWorker(*fx.tree, fx.scale, hit, kOps, 13, sink);
+  });
+  ab.Full();
+  return result;
+}
+
+ScenarioResult RunTreeLookupNT(TreeFixture& fx, bool baseline) {
+  TreeAbConfig ab{fx.tree.get()};
+  baseline ? ab.Baseline() : ab.Full();
+  const uint64_t kOpsPerThread = fx.scale / 2;
+  std::atomic<uint64_t> sink{0};
+  std::string name = std::string("ccl_lookup_hit_") + std::to_string(kTreeReadThreads) + "t" +
+                     (baseline ? "_scalarlock" : "");
+  // Unlike the 1T scenarios, each rep pays thread spawn inside the measured
+  // region; spawn cost is identical across the A/B pair, and the median damps
+  // scheduler noise. Contexts live in the workers (per-thread clocks).
+  ScenarioResult result =
+      MeasureMedian(name, kTreeReadThreads, kOpsPerThread * kTreeReadThreads, [&] {
+        std::vector<std::thread> workers;
+        for (int w = 0; w < kTreeReadThreads; w++) {
+          workers.emplace_back([&fx, &sink, kOpsPerThread, w] {
+            pmsim::ThreadContext ctx(fx.runtime->device(), 0, w);
+            LookupWorker(*fx.tree, fx.scale, /*hit=*/true, kOpsPerThread,
+                         static_cast<uint64_t>(w) + 31, sink);
+          });
+        }
+        for (auto& t : workers) {
+          t.join();
+        }
+      });
+  ab.Full();
+  return result;
+}
+
+ScenarioResult RunTreeUpsert1T(TreeFixture& fx) {
+  TreeAbConfig ab{fx.tree.get()};
+  ab.Full();
+  pmsim::ThreadContext ctx(fx.runtime->device(), 0, 0);
+  const uint64_t kOps = fx.scale / 2;
+  // Steady state: overwrite existing keys, so batches apply in place (no
+  // splits, no new buffer nodes) — the allocation-free regime the WAL chunk
+  // list is pre-sized for.
+  auto body = [&](uint64_t ops, uint64_t seed) {
+    Rng rng(seed);
+    for (uint64_t i = 0; i < ops; i++) {
+      uint64_t idx = rng.NextBounded(fx.scale);
+      fx.tree->Upsert(TreeKey(idx), idx + 7);
+    }
+  };
+  body(kOps / 10, 17);  // warm
+  return MeasureMedian("ccl_upsert_1t", 1, kOps, [&] { body(kOps, 19); });
+}
+
+ScenarioResult RunTreeScan1T(TreeFixture& fx) {
+  TreeAbConfig ab{fx.tree.get()};
+  ab.Full();
+  pmsim::ThreadContext ctx(fx.runtime->device(), 0, 0);
+  constexpr size_t kScanLen = 100;
+  const uint64_t kScans = fx.scale / 50;
+  std::vector<kvindex::KeyValue> out(kScanLen);
+  std::atomic<uint64_t> sink{0};
+  auto body = [&](uint64_t scans, uint64_t seed) {
+    Rng rng(seed);
+    uint64_t acc = 0;
+    for (uint64_t i = 0; i < scans; i++) {
+      acc += fx.tree->Scan(TreeKey(rng.NextBounded(fx.scale)), kScanLen, out.data());
+    }
+    sink.fetch_add(acc, std::memory_order_relaxed);
+  };
+  body(kScans / 10, 23);  // warm
+  return MeasureMedian("ccl_scan_1t", 1, kScans * kScanLen, [&] { body(kScans, 29); });
+}
+
 }  // namespace
 }  // namespace cclbt::pmsim
 
@@ -205,6 +408,49 @@ int main(int argc, char** argv) {
   results.push_back(cclbt::pmsim::RunFlushHeavyNT());
   results.push_back(cclbt::pmsim::RunMixed1T());
   results.push_back(cclbt::pmsim::RunLargePersist());
+
+  {
+    cclbt::pmsim::TreeFixture fx;
+    results.push_back(cclbt::pmsim::RunTreeLookup1T(fx, /*hit=*/true, /*baseline=*/false));
+    results.push_back(cclbt::pmsim::RunTreeLookup1T(fx, /*hit=*/true, /*baseline=*/true));
+    results.push_back(cclbt::pmsim::RunTreeLookup1T(fx, /*hit=*/false, /*baseline=*/false));
+    results.push_back(cclbt::pmsim::RunTreeLookup1T(fx, /*hit=*/false, /*baseline=*/true));
+    results.push_back(cclbt::pmsim::RunTreeLookupNT(fx, /*baseline=*/false));
+    results.push_back(cclbt::pmsim::RunTreeLookupNT(fx, /*baseline=*/true));
+    results.push_back(cclbt::pmsim::RunTreeScan1T(fx));
+    results.push_back(cclbt::pmsim::RunTreeUpsert1T(fx));
+  }
+
+  // Hard gates, not advisory numbers:
+  //  * steady-state tree lookups and upserts must be allocation-free
+  //    (max over reps; see the WAL chunk-list reserve in src/core/wal.h);
+  //  * A/B speedup of the full configuration over scalar+shared_mutex.
+  int status = 0;
+  for (const auto& r : results) {
+    bool must_be_alloc_free = r.name == "ccl_lookup_hit_1t" || r.name == "ccl_lookup_miss_1t" ||
+                              r.name == "ccl_upsert_1t";
+    if (must_be_alloc_free && r.heap_allocs != 0) {
+      std::fprintf(stderr, "FAIL: %s allocated %llu times in a measured rep (expected 0)\n",
+                   r.name.c_str(), static_cast<unsigned long long>(r.heap_allocs));
+      status = 1;
+    }
+  }
+  auto find_result = [&](const std::string& name) -> const ScenarioResult* {
+    for (const auto& r : results) {
+      if (r.name == name) {
+        return &r;
+      }
+    }
+    return nullptr;
+  };
+  for (const char* base : {"ccl_lookup_hit_1t", "ccl_lookup_miss_1t"}) {
+    const ScenarioResult* full = find_result(base);
+    const ScenarioResult* ab = find_result(std::string(base) + "_scalarlock");
+    if (full != nullptr && ab != nullptr && full->wall_ms > 0) {
+      std::printf("A/B %-20s speedup=%.2fx (%.1f ms -> %.1f ms, median of reps)\n", base,
+                  ab->wall_ms / full->wall_ms, ab->wall_ms, full->wall_ms);
+    }
+  }
 
   for (const auto& r : results) {
     std::printf("%-18s threads=%d ops=%llu wall_ms=%.1f Mops(wall)=%.2f heap_allocs=%llu\n",
@@ -229,5 +475,5 @@ int main(int argc, char** argv) {
   }
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);
-  return 0;
+  return status;
 }

@@ -27,6 +27,8 @@ struct BufferSlot {
   std::atomic<uint64_t> value{0};
 };
 
+static_assert(sizeof(BufferSlot) == 16, "SIMD slot probe assumes 16 B {key,value} stride");
+
 class BufferNode {
  public:
   BufferNode(PmLeaf* leaf, int nbatch) : leaf_(leaf), nbatch_(nbatch) {}
@@ -44,18 +46,28 @@ class BufferNode {
     return version_.compare_exchange_weak(v, v + 1, std::memory_order_acquire);
   }
   void Lock() {
-    while (!TryLock()) {
-      // Yield rather than spin: benches oversubscribe OS threads and a
-      // preempted lock holder would otherwise stall every spinner.
-      std::this_thread::yield();
+    // Short PAUSE phase first: per-node conflicts are usually a few hundred
+    // cycles long, and an immediate yield costs a syscall on every conflict
+    // at low thread counts. Benches oversubscribe OS threads, so after the
+    // pause budget a preempted lock holder still gets the CPU via yield.
+    for (int spins = 0; !TryLock(); spins++) {
+      if (spins < kSpinsBeforeYield) {
+        simd::CpuRelax();
+      } else {
+        std::this_thread::yield();
+      }
     }
   }
   void Unlock() { version_.fetch_add(1, std::memory_order_release); }
 
   uint64_t ReadBegin() const {
     uint64_t v;
-    while (((v = version_.load(std::memory_order_acquire)) & 1) != 0) {
-      std::this_thread::yield();
+    for (int spins = 0; ((v = version_.load(std::memory_order_acquire)) & 1) != 0; spins++) {
+      if (spins < kSpinsBeforeYield) {
+        simd::CpuRelax();
+      } else {
+        std::this_thread::yield();
+      }
     }
     return v;
   }
@@ -113,6 +125,8 @@ class BufferNode {
   static uint64_t PackedBytes(int nbatch) { return 8 + 16 * static_cast<uint64_t>(nbatch); }
 
  private:
+  static constexpr int kSpinsBeforeYield = 64;
+
   std::atomic<uint64_t> version_{0};
   PmLeaf* leaf_;
   int nbatch_;

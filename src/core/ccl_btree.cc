@@ -9,6 +9,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "src/common/simd.h"
 #include "src/pmsim/crash_injector.h"
 #include "src/pmsim/pmcheck.h"
 #include "src/trace/trace.h"
@@ -25,12 +26,35 @@ uint32_t LineOfSlot(int slot) {
 
 int FindSlotWithBitmap(const PmLeaf* leaf, uint64_t bitmap, uint64_t key) {
   uint8_t fp = Fingerprint8(key);
-  for (int slot = 0; slot < kLeafSlots; slot++) {
-    if (((bitmap >> slot) & 1) && leaf->fingerprints[slot] == fp && leaf->kvs[slot].key == key) {
+  for (uint32_t cand = simd::FpMatch16(leaf->fingerprints, fp, static_cast<uint32_t>(bitmap));
+       cand != 0; cand &= cand - 1) {
+    int slot = __builtin_ctz(cand);
+    if (leaf->kvs[slot].key == key) {
       return slot;
     }
   }
   return -1;
+}
+
+// Bitmask of buffer slots whose key equals `key`. The slots are atomics
+// mutated under the node's version lock; the SIMD probe reads them with
+// plain vector loads — exactly the optimistic race the version-validation
+// protocol accounts for. Under TSan the scalar loop keeps each access a
+// relaxed atomic load so the race checker sees the protocol, not the
+// vector shortcut.
+uint32_t BufferKeyMatch(const BufferSlot* slots, int nbatch, uint64_t key) {
+  if constexpr (simd::kTsanBuild) {
+    uint32_t out = 0;
+    for (int i = 0; i < nbatch; i++) {
+      if (slots[i].key.load(std::memory_order_relaxed) == key) {
+        out |= 1u << i;
+      }
+    }
+    return out;
+  } else {
+    return simd::KeyMatchStride2(reinterpret_cast<const uint64_t*>(slots), nbatch, key,
+                                 (1u << nbatch) - 1);
+  }
 }
 
 }  // namespace
@@ -232,17 +256,13 @@ void CclBTree::UpsertInternal(uint64_t key, uint64_t value) {
   // with the old epoch here is guaranteed to be seen by the GC scan (§3.4).
   uint32_t epoch = global_epoch_.load(std::memory_order_acquire);
 
-  int current_match = -1;
-  int stale_match = -1;
-  for (int i = 0; i < nbatch; i++) {
-    if (slots[i].key.load(std::memory_order_relaxed) == key) {
-      if (i < pos) {
-        current_match = i;
-      } else {
-        stale_match = i;
-      }
-    }
-  }
+  // One SIMD probe over the {key,value} slots; a key appears at most once in
+  // the buffer (see the stale-eviction below), so first-match == only-match.
+  uint32_t match = BufferKeyMatch(slots, nbatch, key);
+  uint32_t current_bits = match & ((1u << pos) - 1);
+  uint32_t stale_bits = match & ~((1u << pos) - 1);
+  int current_match = current_bits != 0 ? __builtin_ctz(current_bits) : -1;
+  int stale_match = stale_bits != 0 ? __builtin_ctz(stale_bits) : -1;
   ChargeDram(static_cast<uint64_t>(nbatch));
 
   if (current_match >= 0) {
@@ -416,12 +436,8 @@ void CclBTree::BatchInsertLeaf(BufferNode* bn, kvindex::KeyValue* kvs, int n, ui
         // separator (min key) above the runtime separator (split key) and
         // misroute WAL replay. Keep such keys as fence entries: valid slot,
         // value 0, invisible to lookups and scans.
-        uint64_t min_key = ~0ULL;
-        for (int s = 0; s < kLeafSlots; s++) {
-          if (((bitmap >> s) & 1) && leaf->kvs[s].key < min_key) {
-            min_key = leaf->kvs[s].key;
-          }
-        }
+        uint64_t min_key = simd::MinKeyStride2(reinterpret_cast<const uint64_t*>(leaf->kvs),
+                                               kLeafSlots, static_cast<uint32_t>(bitmap));
         if (leaf->kvs[slot].key == min_key) {
           identical_rewrite |= leaf->kvs[slot].value == kTombstone;
           leaf->kvs[slot].value = kTombstone;
@@ -492,10 +508,8 @@ BufferNode* CclBTree::SplitLeaf(BufferNode* bn) {
   // Median split key over the (unsorted) valid entries.
   uint64_t keys[16];
   int n = 0;
-  for (int slot = 0; slot < kLeafSlots; slot++) {
-    if ((bitmap >> slot) & 1) {
-      keys[n++] = leaf->kvs[slot].key;
-    }
+  for (uint64_t bits = bitmap; bits != 0; bits &= bits - 1) {
+    keys[n++] = leaf->kvs[__builtin_ctzll(bits)].key;
   }
   std::sort(keys, keys + n);
   uint64_t split_key = keys[n / 2];
@@ -508,8 +522,9 @@ BufferNode* CclBTree::SplitLeaf(BufferNode* bn) {
   uint64_t new_bitmap = 0;
   uint64_t old_bitmap = bitmap;
   int out = 0;
-  for (int slot = 0; slot < kLeafSlots; slot++) {
-    if (((bitmap >> slot) & 1) && leaf->kvs[slot].key >= split_key) {
+  for (uint64_t bits = bitmap; bits != 0; bits &= bits - 1) {
+    int slot = __builtin_ctzll(bits);
+    if (leaf->kvs[slot].key >= split_key) {
       new_leaf->kvs[out] = leaf->kvs[slot];
       new_leaf->fingerprints[out] = leaf->fingerprints[slot];
       new_bitmap |= 1ULL << out;
@@ -616,8 +631,9 @@ void CclBTree::TryMergeLeft(uint64_t sep) {
     uint64_t left_bitmap = left_leaf->bitmap();
     uint64_t right_bitmap = right_leaf->bitmap();
     uint32_t dirty_lines = 0;
-    for (int slot = 0; slot < kLeafSlots; slot++) {
-      if (!((right_bitmap >> slot) & 1) || right_leaf->kvs[slot].value == kTombstone) {
+    for (uint64_t bits = right_bitmap; bits != 0; bits &= bits - 1) {
+      int slot = __builtin_ctzll(bits);
+      if (right_leaf->kvs[slot].value == kTombstone) {
         continue;
       }
       int free = __builtin_ctzll(~left_bitmap & kBitmapMask);
@@ -680,25 +696,27 @@ bool CclBTree::Lookup(uint64_t key, uint64_t* value_out) {
     if (bn->dead() || inner_.RouteFloor(key) != bn) {
       continue;
     }
+    // Start the PM leaf's header line (bitmap + fingerprints) toward the
+    // cache now: on a buffer miss the probe below needs it immediately.
+    __builtin_prefetch(bn->leaf());
     if (options_.buffering) {
       // Buffer first: slots [0,pos) hold the newest unflushed values, slots
       // [pos,nbatch) mirror flushed leaf state (§3.2/§4.3).
       BufferSlot* slots = bn->slots();
       int nbatch = bn->nbatch();
       ChargeDram(static_cast<uint64_t>(nbatch));
-      for (int i = 0; i < nbatch; i++) {
-        if (slots[i].key.load(std::memory_order_acquire) == key) {
-          uint64_t value = slots[i].value.load(std::memory_order_acquire);
-          if (!bn->ReadValidate(snapshot)) {
-            break;  // Retry from routing.
-          }
-          dram_hits_.fetch_add(1, std::memory_order_relaxed);
-          if (value == kTombstone) {
-            return false;
-          }
-          *value_out = value;
-          return true;
+      uint32_t match = BufferKeyMatch(slots, nbatch, key);
+      if (match != 0) {
+        uint64_t value = slots[__builtin_ctz(match)].value.load(std::memory_order_acquire);
+        if (!bn->ReadValidate(snapshot)) {
+          continue;  // Retry from routing.
         }
+        dram_hits_.fetch_add(1, std::memory_order_relaxed);
+        if (value == kTombstone) {
+          return false;
+        }
+        *value_out = value;
+        return true;
       }
       if (!bn->ReadValidate(snapshot)) {
         continue;
@@ -763,11 +781,9 @@ size_t CclBTree::Scan(uint64_t start_key, size_t count, kvindex::KeyValue* out) 
     // Merge: leaf entries, overlaid by the newest buffered values (§4.3 —
     // "retain the entries stored in the buffer nodes since [they] always
     // store the latest versions").
-    uint64_t bits = MetaBitmap(leaf_copy.meta.load(std::memory_order_relaxed));
-    for (int slot = 0; slot < kLeafSlots; slot++) {
-      if ((bits >> slot) & 1) {
-        window.push_back(leaf_copy.kvs[slot]);
-      }
+    for (uint64_t bits = MetaBitmap(leaf_copy.meta.load(std::memory_order_relaxed)); bits != 0;
+         bits &= bits - 1) {
+      window.push_back(leaf_copy.kvs[__builtin_ctzll(bits)]);
     }
     for (int i = 0; i < pos; i++) {
       bool replaced = false;
@@ -1277,10 +1293,8 @@ bool CclBTree::CheckInvariants() const {
     uint64_t bits = leaf->bitmap();
     uint64_t local_min = ~0ULL;
     uint64_t local_max = 0;
-    for (int slot = 0; slot < kLeafSlots; slot++) {
-      if (!((bits >> slot) & 1)) {
-        continue;
-      }
+    for (uint64_t walk = bits; walk != 0; walk &= walk - 1) {
+      int slot = __builtin_ctzll(walk);
       uint64_t key = leaf->kvs[slot].key;
       if (leaf->fingerprints[slot] != Fingerprint8(key)) {
         return false;

@@ -14,9 +14,11 @@
 #define SRC_CORE_LEAF_NODE_H_
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 
 #include "src/common/fingerprint.h"
+#include "src/common/simd.h"
 #include "src/kvindex/kv_index.h"
 
 namespace cclbt::core {
@@ -53,10 +55,9 @@ struct alignas(kLeafBytes) PmLeaf {
   // failure recovery relies on for routing WAL entries (see
   // CclBTree::BatchInsertLeaf).
   int LiveCount() const {
-    uint64_t bits = bitmap();
     int live = 0;
-    for (int slot = 0; slot < kLeafSlots; slot++) {
-      if (((bits >> slot) & 1) && kvs[slot].value != 0) {
+    for (uint64_t bits = bitmap(); bits != 0; bits &= bits - 1) {
+      if (kvs[__builtin_ctzll(bits)].value != 0) {
         live++;
       }
     }
@@ -64,12 +65,15 @@ struct alignas(kLeafBytes) PmLeaf {
   }
 
   // Slot holding `key`, or -1. Fingerprint-filtered scan of the unsorted
-  // slots (the filter plus bitmap live in the header cacheline, §4.3).
+  // slots (the filter plus bitmap live in the header cacheline, §4.3). The
+  // fingerprint filter is one 16 B SIMD compare (fingerprints + padding are
+  // 16 contiguous bytes); only fingerprint hits touch the KV lines.
   int FindSlot(uint64_t key) const {
-    uint64_t bits = bitmap();
+    uint32_t bits = static_cast<uint32_t>(bitmap());
     uint8_t fp = Fingerprint8(key);
-    for (int slot = 0; slot < kLeafSlots; slot++) {
-      if (((bits >> slot) & 1) && fingerprints[slot] == fp && kvs[slot].key == key) {
+    for (uint32_t cand = simd::FpMatch16(fingerprints, fp, bits); cand != 0; cand &= cand - 1) {
+      int slot = __builtin_ctz(cand);
+      if (kvs[slot].key == key) {
         return slot;
       }
     }
@@ -85,23 +89,26 @@ struct alignas(kLeafBytes) PmLeaf {
     return __builtin_ctzll(~bits & kBitmapMask);
   }
 
-  // Smallest valid key; `found`=false for an empty leaf.
+  // Smallest valid key; `found`=false for an empty leaf. Branchless SIMD min
+  // over the unsorted slots (scalar fallback iterates set bits only). A key
+  // of ~0ULL in a non-empty leaf is reported found — kvindex keys never take
+  // that value (they are PM pool offsets / user keys below 2^62).
   uint64_t MinKey(bool* found) const {
-    uint64_t bits = bitmap();
-    uint64_t min_key = ~0ULL;
-    bool any = false;
-    for (int slot = 0; slot < kLeafSlots; slot++) {
-      if (((bits >> slot) & 1) && kvs[slot].key < min_key) {
-        min_key = kvs[slot].key;
-        any = true;
-      }
+    uint32_t bits = static_cast<uint32_t>(bitmap());
+    if (bits == 0) {
+      *found = false;
+      return ~0ULL;
     }
-    *found = any;
-    return min_key;
+    *found = true;
+    return simd::MinKeyStride2(reinterpret_cast<const uint64_t*>(kvs), kLeafSlots, bits);
   }
 };
 
 static_assert(sizeof(PmLeaf) == kLeafBytes, "leaf must be exactly one XPLine");
+static_assert(sizeof(kvindex::KeyValue) == 16 && offsetof(kvindex::KeyValue, key) == 0,
+              "SIMD probes assume {key,value} pairs at 16 B stride");
+static_assert(offsetof(PmLeaf, kvs) - offsetof(PmLeaf, fingerprints) >= 16,
+              "FpMatch16 reads 16 B starting at fingerprints");
 
 }  // namespace cclbt::core
 

@@ -67,7 +67,15 @@ bool EntryValid(const LogEntry& entry, uint32_t generation);
 // point of per-thread logs).
 class ThreadWal {
  public:
-  ThreadWal(pmem::LogArena& arena, int worker_id) : arena_(&arena), worker_id_(worker_id) {}
+  ThreadWal(pmem::LogArena& arena, int worker_id) : arena_(&arena), worker_id_(worker_id) {
+    // Pre-size the chunk lists so a chunk activation on the hot append path
+    // never reallocates: steady-state upserts are asserted allocation-free
+    // by bench_pmsim_hotpath. 64 chunks = 256 MB of log per epoch per
+    // worker, far beyond any workload here; past that push_back grows as
+    // usual.
+    chunks_[0].reserve(kChunkListReserve);
+    chunks_[1].reserve(kChunkListReserve);
+  }
   ~ThreadWal();
 
   ThreadWal(const ThreadWal&) = delete;
@@ -84,6 +92,8 @@ class ThreadWal {
   uint64_t appended_bytes(int epoch) const { return appended_bytes_[epoch]; }
 
  private:
+  static constexpr size_t kChunkListReserve = 64;
+
   struct ActiveChunk {
     std::byte* base = nullptr;
     size_t cursor = 0;  // next append offset (past the header)

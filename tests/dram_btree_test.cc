@@ -237,5 +237,124 @@ TEST(DramBTree, ConcurrentReadersDuringInserts) {
   EXPECT_EQ(errors.load(), 0);
 }
 
+// Locked and optimistic read paths must answer identically on a quiescent
+// tree (the bench A/B harness relies on set_locked_reads being semantically
+// neutral).
+TEST(DramBTree, LockedReadsMatchOptimistic) {
+  DramBTree<uint64_t> tree;
+  Rng rng(42);
+  std::map<uint64_t, uint64_t> model;
+  for (int i = 0; i < 20000; i++) {
+    uint64_t key = rng.NextBounded(30000) + 1;
+    tree.Insert(key, key * 3);
+    model[key] = key * 3;
+  }
+  for (int i = 0; i < 5000; i++) {
+    uint64_t probe = rng.NextBounded(35000);
+    bool found_opt = false;
+    bool found_locked = false;
+    tree.set_locked_reads(false);
+    uint64_t got_opt = tree.RouteFloor(probe, &found_opt);
+    uint64_t sep_opt = 0;
+    uint64_t val_opt = 0;
+    bool has_opt = tree.RouteFloorEntry(probe, &sep_opt, &val_opt);
+    tree.set_locked_reads(true);
+    uint64_t got_locked = tree.RouteFloor(probe, &found_locked);
+    uint64_t sep_locked = 0;
+    uint64_t val_locked = 0;
+    bool has_locked = tree.RouteFloorEntry(probe, &sep_locked, &val_locked);
+    tree.set_locked_reads(false);
+    ASSERT_EQ(found_opt, found_locked);
+    if (found_opt) {
+      EXPECT_EQ(got_opt, got_locked);
+    }
+    ASSERT_EQ(has_opt, has_locked);
+    if (has_opt) {
+      EXPECT_EQ(sep_opt, sep_locked);
+      EXPECT_EQ(val_opt, val_locked);
+      auto it = model.upper_bound(probe);
+      ASSERT_NE(it, model.begin());
+      EXPECT_EQ(sep_opt, std::prev(it)->first);
+      EXPECT_EQ(val_opt, std::prev(it)->second);
+    }
+  }
+}
+
+// Stress for the optimistic (version-validated) descent: concurrent
+// inserts/removes racing readers that check internal consistency of every
+// answer. Values are derived from keys so a torn read that slipped past
+// validation would surface as a sep/value mismatch. Run under TSan via
+// tools/sanitize.sh (dram_btree is in ci.sh's SANITIZE_FILTER).
+TEST(DramBTree, OptimisticDescentStress) {
+  DramBTree<uint64_t> tree;
+  constexpr uint64_t kSpace = 8192;
+  // Persistent floor sentinel so RouteFloor always finds something.
+  tree.Insert(1, 1);
+  for (uint64_t k = 2; k <= kSpace; k += 2) {
+    tree.Insert(k, k);
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<int> errors{0};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 2; t++) {
+    writers.emplace_back([&tree, t] {
+      Rng rng(static_cast<uint64_t>(t) + 7);
+      for (int i = 0; i < 40000; i++) {
+        uint64_t key = rng.NextBounded(kSpace - 1) + 2;  // never touch sentinel 1
+        if (rng.NextBounded(3) == 0) {
+          tree.Remove(key);
+        } else {
+          tree.Insert(key, key);
+        }
+      }
+    });
+  }
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; t++) {
+    readers.emplace_back([&tree, &stop, &errors, t] {
+      Rng rng(static_cast<uint64_t>(t) + 99);
+      while (!stop.load(std::memory_order_acquire)) {
+        uint64_t probe = rng.NextBounded(kSpace + 64) + 1;
+        uint64_t sep = 0;
+        uint64_t value = 0;
+        if (!tree.RouteFloorEntry(probe, &sep, &value)) {
+          errors++;  // sentinel 1 guarantees a floor exists
+          continue;
+        }
+        // Internal consistency: separator is a floor and value tracks key.
+        if (sep > probe || value != sep) {
+          errors++;
+        }
+        uint64_t got = 0;
+        if (tree.Get(probe, &got) && got != probe) {
+          errors++;
+        }
+        uint64_t next_key = 0;
+        uint64_t next_value = 0;
+        if (tree.NextEntry(probe, &next_key, &next_value) &&
+            (next_key <= probe || next_value != next_key)) {
+          errors++;
+        }
+      }
+    });
+  }
+  for (auto& writer : writers) {
+    writer.join();
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& reader : readers) {
+    reader.join();
+  }
+  EXPECT_EQ(errors.load(), 0);
+  // Post-race structural sanity: full in-order walk, every value == key.
+  uint64_t prev = 0;
+  tree.ForEachFrom(0, [&](uint64_t key, uint64_t value) {
+    EXPECT_GT(key, prev);
+    EXPECT_EQ(value, key);
+    prev = key;
+    return true;
+  });
+}
+
 }  // namespace
 }  // namespace cclbt::kvindex

@@ -6,15 +6,20 @@
 #   2. tier-1: -Werror build + full ctest (the gate every change must pass)
 #   3. clang-tidy: static analysis build with .clang-tidy (skipped with a
 #      notice when clang-tidy is not installed)
-#   4. pmcheck: the full test suite re-run with CCL_PMCHECK=1 so every test
+#   4. simd-off: the full test suite re-run with CCL_SIMD=off so the scalar
+#      fallbacks of src/common/simd.h stay exercised and provably give the
+#      same query results as the SIMD paths (DESIGN.md §12)
+#   5. pmcheck: the full test suite re-run with CCL_PMCHECK=1 so every test
 #      workload doubles as a persistency-ordering check (DESIGN.md §11)
-#   5. crash: quick crash-injection matrix profile (ctest label "crash")
-#   6. determinism: staged benches run twice with pmcheck enabled,
+#   6. crash: quick crash-injection matrix profile (ctest label "crash")
+#   7. determinism: staged benches run twice with pmcheck enabled,
 #      virtual-metric tails diffed (run_benches.sh --determinism; §10 —
 #      diagnostics must not perturb virtual time)
-#   7. ASan+UBSan on the pmsim + trace + GC-scheduling + pmcheck test subset
-#   8. TSan on the same subset (gc_scheduling_test's kOsThread tests are the
-#      real-concurrency stress of the legacy GC thread)
+#   8. ASan+UBSan on the pmsim + trace + GC-scheduling + pmcheck + simd +
+#      dram_btree test subset
+#   9. TSan on the same subset (gc_scheduling_test's kOsThread tests are the
+#      real-concurrency stress of the legacy GC thread; dram_btree_test's
+#      descent stress races optimistic readers against writers)
 #
 # The sanitizer passes cover the code with the trickiest concurrency story —
 # the lock-striped XPBuffer, sharded stats, the pmtrace ring/registry, and
@@ -23,7 +28,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-SANITIZE_FILTER="pmsim|trace|gc_scheduling|pmcheck"
+SANITIZE_FILTER="pmsim|trace|gc_scheduling|pmcheck|simd|dram_btree"
 
 echo "=== lint: lint_pm_api.py self-test + tree ==="
 python3 tools/lint_pm_api.py --self-test
@@ -43,6 +48,12 @@ if command -v clang-tidy >/dev/null 2>&1; then
 else
   echo "=== clang-tidy: SKIPPED (clang-tidy not installed) ==="
 fi
+
+# Scalar-fallback pass: the same suite with SIMD dispatch forced off. Any
+# test that would pass only with the host's vector paths fails here, which
+# pins the contract that CCL_SIMD never changes query results.
+echo "=== simd-off: ctest with CCL_SIMD=off ==="
+CCL_SIMD=off ctest --test-dir build --output-on-failure -j"$(nproc)"
 
 # Persistency sanitizer pass: every test workload re-run with the pmcheck
 # shadow checker on. Tests that assert pmcheck-off defaults clear the env

@@ -23,8 +23,10 @@ run_one() {
     # Build only the matching test targets (repro_test names the target after
     # the test), not the whole tree.
     local targets
+    # ctest pads single-digit test ids ("Test  #2:"), so allow any spacing
+    # between "Test" and "#" — a too-strict pattern silently drops targets.
     targets=$(ctest --test-dir "${dir}" -N -R "${FILTER}" |
-              sed -n 's/^ *Test #[0-9]*: //p')
+              sed -n 's/^ *Test *#[0-9]*: //p')
     if [ -z "${targets}" ]; then
       echo "no tests match regex '${FILTER}'" >&2
       exit 2
