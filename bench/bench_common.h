@@ -65,7 +65,7 @@ inline void SetLatencyCounters(benchmark::State& state, const RunResult& result)
 // each op, the virtual time spent under that component's trace scope.
 inline void SetComponentLatencyCounters(benchmark::State& state, const RunResult& result) {
   for (int c = 0; c < trace::kNumComponents; c++) {
-    const LatencyHistogram& h = result.component_latency[static_cast<size_t>(c)];
+    const metrics::Histogram& h = result.component_latency[static_cast<size_t>(c)];
     if (h.Count() == 0) {
       continue;
     }

@@ -6,9 +6,12 @@
 #include <cstring>
 #include <thread>
 
+#include "src/bench/metrics_dump.h"
 #include "src/bench/trace_dump.h"
 #include "src/common/rng.h"
 #include "src/common/zipfian.h"
+#include "src/metrics/clock.h"
+#include "src/metrics/metrics.h"
 #include "src/pmem/value_store.h"
 #include "src/trace/trace.h"
 
@@ -169,6 +172,14 @@ RunResult RunWorkload(kvindex::Runtime& runtime, kvindex::KvIndex& index,
   if (config.collect_component_latency) {
     trace::SetScopeTiming(true);
   }
+  // Metrics registry: covers the measurement phase only (Reset after warm).
+  // CPU-side by construction — enabling it cannot move a virtual metric.
+  const bool metrics_dump = MetricsDumpRequested();
+  const bool metrics_on = config.metrics || config.collect_latency || metrics_dump;
+  if (metrics_on) {
+    metrics::Reset();
+    metrics::SetEnabled(true);
+  }
   pmsim::StatsSnapshot before = runtime.device().stats().Snapshot();
 
   struct WorkerState {
@@ -178,9 +189,9 @@ RunResult RunWorkload(kvindex::Runtime& runtime, kvindex::KvIndex& index,
     std::vector<kvindex::KeyValue> scan_out;
     uint64_t cursor = 0;
     uint64_t limit = 0;
-    LatencyHistogram latency;
     // Per-component share of each op's latency (collect_component_latency).
-    std::array<LatencyHistogram, trace::kNumComponents> comp_latency;
+    // Whole-op latency goes through the metrics registry instead.
+    std::array<metrics::Histogram, trace::kNumComponents> comp_latency;
     uint64_t final_vtime = 0;
 
     WorkerState(const RunConfig& config, int w)
@@ -209,6 +220,8 @@ RunResult RunWorkload(kvindex::Runtime& runtime, kvindex::KvIndex& index,
     pmsim::ThreadContext* ctx = pmsim::ThreadContext::Current();
     OpType op = config.mix != nullptr ? st.picker.Next() : config.op;
     uint64_t t0 = ctx->now_ns();
+    // Wall clock read only on the enabled path (sanctioned shim, lint R6).
+    uint64_t wall0 = metrics_on ? metrics::WallNowNs() : 0;
     // Scope-timing table snapshot at op start. The flush first charges any
     // straggler time (inter-op gaps, worker switches) outside the op, so the
     // end-of-op delta is exactly this op's per-component time.
@@ -269,8 +282,13 @@ RunResult RunWorkload(kvindex::Runtime& runtime, kvindex::KvIndex& index,
         break;
       }
     }
-    if (config.collect_latency) {
-      st.latency.Record(ctx->now_ns() - t0);
+    if (metrics_on) {
+      // Insert/update/delete are all upsert-class writes (the paper
+      // implements all three as upsert, §4.2).
+      metrics::OpKind kind = op == OpType::kRead   ? metrics::OpKind::kLookup
+                             : op == OpType::kScan ? metrics::OpKind::kScan
+                                                   : metrics::OpKind::kUpsert;
+      metrics::RecordOp(kind, ctx->now_ns() - t0, metrics::WallNowNs() - wall0);
     }
     if (config.collect_component_latency) {
       trace::FlushScopeTime();
@@ -297,6 +315,54 @@ RunResult RunWorkload(kvindex::Runtime& runtime, kvindex::KvIndex& index,
   const uint64_t gc_epoch_ops = config.os_parallel ? 0 : config.gc_epoch_ops;
   uint64_t gc_epoch_counter = 0;
 
+  // Metrics virtual-time epochs: snapshot the windowed pmsim stats, registry
+  // counters and latency percentiles each time the running worker's clock
+  // crosses the next epoch boundary. Sequential scheduling only (same
+  // rationale as the timeline above); every field is virtual-time/count
+  // data, so the series is bit-identical run-to-run for a deterministic
+  // config.
+  const bool collect_epochs = metrics_on && !config.os_parallel && config.ops > 0;
+  const uint64_t epoch_ns = std::max<uint64_t>(1, config.metrics_epoch_ns);
+  uint64_t next_epoch_ns = epoch_ns;
+  metrics::EpochSeries epochs;
+  pmsim::StatsSnapshot epoch_prev_stats = before;
+  metrics::MetricsSnapshot epoch_prev_metrics;
+  auto record_epoch = [&](uint64_t t_ns) {
+    pmsim::StatsSnapshot cur = runtime.device().stats().Snapshot();
+    pmsim::StatsSnapshot win = cur.Delta(epoch_prev_stats);
+    metrics::MetricsSnapshot mcur = metrics::Snapshot();
+    metrics::EpochRecord e;
+    e.index = epochs.size();
+    e.t_ns = t_ns;
+    for (int k = 0; k < metrics::kNumOpKinds; k++) {
+      metrics::Histogram w = mcur.op_virtual[k].Delta(epoch_prev_metrics.op_virtual[k]);
+      e.ops.push_back(w.Count());
+      e.p50_ns.push_back(w.Count() == 0 ? 0 : w.Percentile(50));
+      e.p99_ns.push_back(w.Count() == 0 ? 0 : w.Percentile(99));
+      e.p999_ns.push_back(w.Count() == 0 ? 0 : w.Percentile(99.9));
+    }
+    e.user_bytes = win.user_bytes;
+    e.xpbuffer_write_bytes = win.xpbuffer_write_bytes;
+    e.media_write_bytes = win.media_write_bytes;
+    e.media_read_bytes = win.media_read_bytes;
+    e.line_flushes = win.line_flushes;
+    e.fences = win.fences;
+    for (int c = 0; c < trace::kNumComponents; c++) {
+      e.comp_bytes.push_back(win.media_write_bytes_by_component[c]);
+    }
+    pmsim::PmDevice::XpBufferTotals xb = runtime.device().SampleXpBuffers();
+    e.xpbuf_resident = xb.resident;
+    e.xpbuf_insertions = xb.insertions;
+    e.xpbuf_evictions = xb.evictions;
+    for (int c = 0; c < metrics::kNumCounters; c++) {
+      e.counters.push_back(mcur.counters[c] - epoch_prev_metrics.counters[c]);
+    }
+    index.SampleGauges(&e.gauges);
+    epochs.push_back(std::move(e));
+    epoch_prev_stats = cur;
+    epoch_prev_metrics = std::move(mcur);
+  };
+
   {
     auto ctxs = MakeContexts(runtime, config);
     Schedule(config, ctxs, [&](int w) {
@@ -306,6 +372,13 @@ RunResult RunWorkload(kvindex::Runtime& runtime, kvindex::KvIndex& index,
         run_one(st, st.cursor);
         if (gc_epoch_ops != 0 && ++gc_epoch_counter % gc_epoch_ops == 0) {
           index.GcTick();
+        }
+        if (collect_epochs) {
+          uint64_t now = pmsim::ThreadContext::Current()->now_ns();
+          if (now >= next_epoch_ns) {
+            record_epoch(now);
+            next_epoch_ns = (now / epoch_ns + 1) * epoch_ns;
+          }
         }
         if (sample_timeline && ++sampled_ops % sample_every == 0) {
           pmsim::StatsSnapshot now =
@@ -335,6 +408,11 @@ RunResult RunWorkload(kvindex::Runtime& runtime, kvindex::KvIndex& index,
     worker_ns = std::max(worker_ns, st.final_vtime);
   }
   uint64_t elapsed_ns = std::max(busy_ns, worker_ns);
+  if (collect_epochs) {
+    // Close the final (partial) window so the epoch series tiles the whole
+    // measured phase: summed windowed bytes == the run's stats delta.
+    record_epoch(worker_ns);
+  }
   result.max_worker_vtime_ms = static_cast<double>(worker_ns) / 1e6;
   result.max_dimm_busy_ms = static_cast<double>(busy_ns) / 1e6;
   pmsim::StatsSnapshot after = runtime.device().stats().Snapshot();
@@ -346,10 +424,46 @@ RunResult RunWorkload(kvindex::Runtime& runtime, kvindex::KvIndex& index,
                     ? 0.0
                     : static_cast<double>(config.ops) * 1e3 / static_cast<double>(elapsed_ns);
   for (const auto& st : states) {
-    result.latency.Merge(st.latency);
     for (size_t c = 0; c < st.comp_latency.size(); c++) {
       result.component_latency[c].Merge(st.comp_latency[c]);
     }
+  }
+  if (metrics_on) {
+    result.metrics_snapshot = metrics::Snapshot();
+    metrics::SetEnabled(false);
+    // Whole-op latency view (all kinds merged) — what collect_latency
+    // callers consumed before the registry existed.
+    for (int k = 0; k < metrics::kNumOpKinds; k++) {
+      result.latency.Merge(result.metrics_snapshot.op_virtual[k]);
+    }
+    result.epochs = std::move(epochs);
+  }
+  if (metrics_dump) {
+    metrics::PmMetricsFile file;
+    file.header.label = config.trace_label.empty() ? "run" : config.trace_label;
+    file.header.epoch_ns = epoch_ns;
+    file.header.threads = static_cast<uint64_t>(config.threads);
+    file.header.ops = config.ops;
+    for (int k = 0; k < metrics::kNumOpKinds; k++) {
+      file.header.op_kinds.emplace_back(metrics::OpKindName(static_cast<metrics::OpKind>(k)));
+    }
+    for (int c = 0; c < metrics::kNumCounters; c++) {
+      file.header.counters.emplace_back(metrics::CounterName(static_cast<metrics::Counter>(c)));
+    }
+    for (int c = 0; c < trace::kNumComponents; c++) {
+      file.header.components.emplace_back(
+          trace::ComponentName(static_cast<trace::Component>(c)));
+    }
+    file.epochs = result.epochs;
+    file.has_summary = true;
+    file.summary.elapsed_virtual_ns = elapsed_ns;
+    for (int k = 0; k < metrics::kNumOpKinds; k++) {
+      file.summary.virt.push_back(
+          metrics::SummarizeHistogram(result.metrics_snapshot.op_virtual[k]));
+      file.summary.wall.push_back(
+          metrics::SummarizeHistogram(result.metrics_snapshot.op_wall[k]));
+    }
+    result.metrics_dump_path = WriteMetricsDump(file);
   }
   result.footprint = index.Footprint();
   if (pmsim::PmCheck* check = runtime.device().pmcheck(); check != nullptr) {

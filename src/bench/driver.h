@@ -18,11 +18,12 @@
 #include <vector>
 
 #include "src/bench/index_factory.h"
-#include "src/common/histogram.h"
 #include "src/common/keyspace.h"
 #include "src/common/ycsb.h"
 #include "src/kvindex/kv_index.h"
 #include "src/kvindex/runtime.h"
+#include "src/metrics/histogram.h"
+#include "src/metrics/pmmetrics.h"
 #include "src/pmsim/pmcheck.h"
 #include "src/trace/component.h"
 
@@ -42,6 +43,19 @@ struct RunConfig {
   size_t scan_len = 100;
   int threads_per_socket = 48;
   bool collect_latency = false;
+  // Enable the metrics registry (src/metrics) for the measurement phase:
+  // per-op-kind latency histograms in virtual AND wall time, registry
+  // counters, and — under sequential scheduling — the virtual-time-epoch
+  // series in RunResult::epochs (windowed XBI/CLI, media bytes by component,
+  // latency percentiles, XPBuffer/GC gauges). Also switched on by the
+  // CCL_METRICS environment variable, which additionally dumps a .pmmetrics
+  // file (see src/bench/metrics_dump.h). Epoch records are virtual-time-only
+  // and bit-identical run-to-run for a deterministic config; the registry is
+  // CPU-side only, so enabling it never shifts a virtual metric.
+  bool metrics = false;
+  // Virtual-time width of one metrics epoch (sequential scheduling only;
+  // under os_parallel only the end-of-run totals are collected).
+  uint64_t metrics_epoch_ns = 1'000'000;
   // Additionally break per-op latency down by trace::Component (enables
   // trace scope timing for the measurement phase; implies collect_latency
   // semantics for the component histograms only).
@@ -95,10 +109,19 @@ struct RunResult {
   pmsim::StatsSnapshot stats;      // measure-phase delta
   double cli_amplification = 0;
   double xbi_amplification = 0;
-  LatencyHistogram latency;        // per-op virtual latencies (if collected)
+  metrics::Histogram latency;      // per-op virtual latencies (if collected)
   // Per-component share of each op's virtual latency (only ops that spent
   // time in the component are recorded; see collect_component_latency).
-  std::array<LatencyHistogram, trace::kNumComponents> component_latency;
+  std::array<metrics::Histogram, trace::kNumComponents> component_latency;
+  // Registry totals for the measurement phase (zero unless metrics were on):
+  // per-op-kind virtual/wall histograms and counters.
+  metrics::MetricsSnapshot metrics_snapshot;
+  // Virtual-time-epoch series (empty unless metrics were on and the run was
+  // sequential). Deterministic: bit-identical run-to-run per DESIGN.md §10.
+  metrics::EpochSeries epochs;
+  // Path of the .pmmetrics dump written for this run ("" when CCL_METRICS
+  // unset).
+  std::string metrics_dump_path;
   // Path of the .pmtrace dump written for this run ("" when CCL_TRACE unset).
   std::string trace_dump_path;
   kvindex::MemoryFootprint footprint;

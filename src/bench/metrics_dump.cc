@@ -1,0 +1,55 @@
+#include "src/bench/metrics_dump.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+
+namespace cclbt::bench {
+
+namespace {
+
+std::atomic<int> g_metrics_dump_seq{0};
+
+// File-name-safe version of a run label (same rules as trace_dump).
+std::string Sanitize(const std::string& label) {
+  std::string out = label.empty() ? "run" : label;
+  for (char& c : out) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+              c == '-' || c == '_' || c == '.';
+    if (!ok) {
+      c = '-';
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool MetricsDumpRequested() { return std::getenv("CCL_METRICS") != nullptr; }
+
+std::string MetricsDumpPrefix() {
+  const char* prefix = std::getenv("CCL_METRICS");
+  return prefix == nullptr ? std::string() : std::string(prefix);
+}
+
+std::string WriteMetricsDump(const metrics::PmMetricsFile& file) {
+  std::string prefix = MetricsDumpPrefix();
+  if (prefix.empty()) {
+    return std::string();
+  }
+  int seq = g_metrics_dump_seq.fetch_add(1, std::memory_order_relaxed);
+  std::string path =
+      prefix + "." + std::to_string(seq) + "." + Sanitize(file.header.label) + ".pmmetrics";
+  std::ofstream out(path);
+  if (!out) {
+    return std::string();
+  }
+  out << metrics::SerializeHeader(file.header);
+  out << metrics::SerializeEpochSeries(file.epochs);
+  if (file.has_summary) {
+    out << metrics::SerializeSummary(file.summary);
+  }
+  return out ? path : std::string();
+}
+
+}  // namespace cclbt::bench

@@ -1,0 +1,29 @@
+// Writer for .pmmetrics dump files (src/metrics/pmmetrics.h) — the JSON-lines
+// time-series companion to the .pmtrace dump. Produced at the end of a
+// measured phase when the CCL_METRICS environment variable names a path
+// prefix; consumed by `pmctl top` / `pmctl series`.
+#ifndef SRC_BENCH_METRICS_DUMP_H_
+#define SRC_BENCH_METRICS_DUMP_H_
+
+#include <string>
+
+#include "src/metrics/pmmetrics.h"
+
+namespace cclbt::bench {
+
+// True when CCL_METRICS is set in the environment: the driver enables the
+// metrics registry for the measured phase and writes one dump per run.
+bool MetricsDumpRequested();
+
+// The CCL_METRICS value (path prefix), or "" when unset.
+std::string MetricsDumpPrefix();
+
+// Writes "<prefix>.<seq>.<label>.pmmetrics" (seq is a process-wide counter
+// so a bench binary that runs many indexes produces distinct files). The
+// label inside `file.header` is used for the file name. Returns the path
+// written, or "" on failure/unset prefix.
+std::string WriteMetricsDump(const metrics::PmMetricsFile& file);
+
+}  // namespace cclbt::bench
+
+#endif  // SRC_BENCH_METRICS_DUMP_H_

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "src/common/simd.h"
+#include "src/metrics/metrics.h"
 #include "src/pmsim/crash_injector.h"
 #include "src/pmsim/pmcheck.h"
 #include "src/trace/trace.h"
@@ -275,6 +276,7 @@ void CclBTree::UpsertInternal(uint64_t key, uint64_t value) {
     slots[current_match].value.store(value, std::memory_order_release);
     bn->SetEpochBit(current_match, epoch);
     bn->Unlock();
+    metrics::Add(metrics::Counter::kBufferAbsorbs);
     return;
   }
 
@@ -298,6 +300,7 @@ void CclBTree::UpsertInternal(uint64_t key, uint64_t value) {
     bn->SetEpochBit(pos, epoch);
     bn->set_pos(pos + 1);
     bn->Unlock();
+    metrics::Add(metrics::Counter::kBufferAbsorbs);
     return;
   }
 
@@ -340,6 +343,8 @@ void CclBTree::FlushBuffer(BufferNode* bn, const kvindex::KeyValue* extra, uint6
     batch[n++] = *extra;
   }
   trace::Emit(trace::EventType::kBufferFlush, static_cast<uint64_t>(n));
+  metrics::Add(metrics::Counter::kBufferFlushes);
+  metrics::Add(metrics::Counter::kBufferFlushEntries, static_cast<uint64_t>(n));
   BatchInsertLeaf(bn, batch, n, ts);
   buffer_flushes_.fetch_add(1, std::memory_order_relaxed);
   // The slots keep serving reads as a cache (§3.2: "even when the buffered
@@ -936,6 +941,17 @@ std::vector<CclBTree::GcFenceWindow> CclBTree::gc_fence_windows() const {
   return gc_fence_windows_;
 }
 
+void CclBTree::SampleGauges(std::vector<std::pair<std::string, uint64_t>>* out) const {
+  out->emplace_back("gc_rounds", gc_rounds());
+  out->emplace_back("log_live_bytes", log_live_bytes());
+  out->emplace_back("log_peak_bytes", log_peak_bytes());
+  out->emplace_back("leaf_bytes", leaf_bytes());
+  out->emplace_back("buffer_flushes", buffer_flushes());
+  out->emplace_back("splits", splits());
+  out->emplace_back("merges", merges());
+  out->emplace_back("dram_hits", dram_hits());
+}
+
 void CclBTree::RunGcOnce() {
   if (options_.gc_mode == GcMode::kNone) {
     return;
@@ -993,6 +1009,7 @@ void CclBTree::NaiveGc() {
   wals_->ReleaseEpoch(1);
   post_gc_live_bytes_.store(wals_->live_bytes(), std::memory_order_relaxed);
   gc_rounds_.fetch_add(1, std::memory_order_relaxed);
+  metrics::Add(metrics::Counter::kGcRounds);
 }
 
 void CclBTree::LocalityAwareGc() {
@@ -1065,6 +1082,7 @@ void CclBTree::LocalityAwareGc() {
   wals_->ReleaseEpoch(static_cast<int>(old_epoch));
   post_gc_live_bytes_.store(wals_->live_bytes(), std::memory_order_relaxed);
   gc_rounds_.fetch_add(1, std::memory_order_relaxed);
+  metrics::Add(metrics::Counter::kGcRounds);
 }
 
 void CclBTree::FlushAll() {

@@ -107,6 +107,11 @@ class CclBTree : public kvindex::KvIndex {
   }
   const TreeOptions& options() const { return options_; }
 
+  // Metrics epoch gauges (kv_index.h contract): GC round count and log
+  // backlog, buffer churn, structural counters — all reads of existing
+  // relaxed counters/accessors, no pmsim traffic.
+  void SampleGauges(std::vector<std::pair<std::string, uint64_t>>* out) const override;
+
   // Bench A/B knob: route inner-index reads through the shared_mutex instead
   // of the optimistic version-validated descent (the pre-optimization
   // behavior). Semantically neutral; wall-clock only.

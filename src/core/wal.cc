@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cstring>
 
+#include "src/metrics/metrics.h"
 #include "src/pmsim/pmcheck.h"
 #include "src/trace/trace.h"
 
@@ -121,6 +122,7 @@ bool WalSet::Append(int worker_id, int epoch, uint64_t key, uint64_t value, uint
   if (!wals_[static_cast<size_t>(worker_id)]->Append(epoch, key, value, timestamp)) {
     return false;
   }
+  metrics::Add(metrics::Counter::kWalAppendBytes, sizeof(LogEntry));
   uint64_t live =
       live_bytes_.fetch_add(sizeof(LogEntry), std::memory_order_relaxed) + sizeof(LogEntry);
   uint64_t peak = peak_bytes_.load(std::memory_order_relaxed);
@@ -135,6 +137,7 @@ void WalSet::ReleaseEpoch(int epoch) {
   for (auto& wal : wals_) {
     released += wal->ReleaseEpoch(epoch);
   }
+  metrics::Add(metrics::Counter::kWalReleaseBytes, released);
   live_bytes_.fetch_sub(released, std::memory_order_relaxed);
 }
 

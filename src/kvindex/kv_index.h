@@ -10,6 +10,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
 
 namespace cclbt::kvindex {
 
@@ -64,6 +67,17 @@ class KvIndex {
   // Returns true if a round ran. Drivers call it at virtual-time epochs;
   // indexes without background work keep the no-op default.
   virtual bool GcTick() { return false; }
+
+  // Observability hook: append (name, value) gauge samples describing the
+  // index's current internal state (GC backlog, buffer churn, structural
+  // counters). Pulled by the bench driver at virtual-time epoch boundaries —
+  // implementations must only read existing counters/accessors, never touch
+  // pmsim state, so sampling cannot perturb the flush schedule. Gauges are
+  // cumulative values; consumers window them by differencing consecutive
+  // samples. Indexes with nothing to report keep the no-op default.
+  virtual void SampleGauges(std::vector<std::pair<std::string, uint64_t>>* out) const {
+    (void)out;
+  }
 
   // --- persistence lifecycle (DESIGN.md §9) --------------------------------
   // An index is `recoverable` when it can be constructed with

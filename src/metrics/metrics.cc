@@ -1,0 +1,135 @@
+#include "src/metrics/metrics.h"
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace cclbt::metrics {
+
+namespace detail {
+
+std::atomic<bool> g_enabled{false};
+constinit thread_local MetricsShard* tl_shard = nullptr;
+
+namespace {
+
+// Registry of shards. Shards are heap-allocated once and never freed (stable
+// addresses for live TLS pointers); a shard whose thread exited goes on the
+// free list and is handed to the next new thread — its counts are retained,
+// so totals are conserved across worker lifecycles.
+struct Registry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<MetricsShard>> shards;
+  std::vector<MetricsShard*> free_list;
+};
+
+Registry& TheRegistry() {
+  static Registry* r = new Registry();  // leaked: shards outlive any TLS dtor
+  return *r;
+}
+
+// Thread-exit hook: only constructed on the shard-acquire slow path, so its
+// TLS guard never appears on record sites.
+struct ShardReleaser {
+  MetricsShard* shard = nullptr;
+  ~ShardReleaser() {
+    if (shard == nullptr) {
+      return;
+    }
+    Registry& r = TheRegistry();
+    std::lock_guard<std::mutex> guard(r.mu);
+    r.free_list.push_back(shard);
+  }
+};
+thread_local ShardReleaser tl_releaser;
+
+}  // namespace
+
+MetricsShard* AcquireShard() {
+  Registry& r = TheRegistry();
+  MetricsShard* shard = nullptr;
+  {
+    std::lock_guard<std::mutex> guard(r.mu);
+    if (!r.free_list.empty()) {
+      shard = r.free_list.back();
+      r.free_list.pop_back();
+    } else {
+      r.shards.push_back(std::make_unique<MetricsShard>());
+      shard = r.shards.back().get();
+    }
+  }
+  tl_shard = shard;
+  tl_releaser.shard = shard;
+  return shard;
+}
+
+}  // namespace detail
+
+const char* CounterName(Counter c) {
+  switch (c) {
+#define CCLBT_METRICS_NAME(name, wire) \
+  case Counter::name:                  \
+    return wire;
+    CCLBT_METRICS_COUNTERS(CCLBT_METRICS_NAME)
+#undef CCLBT_METRICS_NAME
+    case Counter::kCount:
+      break;
+  }
+  return "?";
+}
+
+const char* OpKindName(OpKind k) {
+  switch (k) {
+    case OpKind::kUpsert:
+      return "upsert";
+    case OpKind::kLookup:
+      return "lookup";
+    case OpKind::kScan:
+      return "scan";
+    case OpKind::kRecover:
+      return "recover";
+    case OpKind::kCount:
+      break;
+  }
+  return "?";
+}
+
+void SetEnabled(bool on) { detail::g_enabled.store(on, std::memory_order_relaxed); }
+
+MetricsSnapshot Snapshot() {
+  auto& r = detail::TheRegistry();
+  MetricsSnapshot s;
+  std::lock_guard<std::mutex> guard(r.mu);
+  for (const auto& shard : r.shards) {
+    for (int c = 0; c < kNumCounters; c++) {
+      s.counters[c] += shard->counters[c].load(std::memory_order_relaxed);
+    }
+    for (int k = 0; k < kNumOpKinds; k++) {
+      s.op_virtual[k].Merge(shard->op_virtual[k]);
+      s.op_wall[k].Merge(shard->op_wall[k]);
+    }
+  }
+  return s;
+}
+
+void Reset() {
+  auto& r = detail::TheRegistry();
+  std::lock_guard<std::mutex> guard(r.mu);
+  for (const auto& shard : r.shards) {
+    for (int c = 0; c < kNumCounters; c++) {
+      shard->counters[c].store(0, std::memory_order_relaxed);
+    }
+    for (int k = 0; k < kNumOpKinds; k++) {
+      shard->op_virtual[k].Reset();
+      shard->op_wall[k].Reset();
+    }
+  }
+}
+
+size_t NumShards() {
+  auto& r = detail::TheRegistry();
+  std::lock_guard<std::mutex> guard(r.mu);
+  return r.shards.size();
+}
+
+}  // namespace cclbt::metrics

@@ -1,0 +1,545 @@
+#include "src/metrics/pmmetrics.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+
+namespace cclbt::metrics {
+
+namespace {
+
+// --- writer helpers ---------------------------------------------------------
+
+void AppendString(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+}
+
+void AppendU64(std::string& out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void AppendKey(std::string& out, const char* key) {
+  out += '"';
+  out += key;
+  out += "\":";
+}
+
+void AppendU64Field(std::string& out, const char* key, uint64_t v) {
+  AppendKey(out, key);
+  AppendU64(out, v);
+}
+
+void AppendU64Array(std::string& out, const char* key, const std::vector<uint64_t>& vs) {
+  AppendKey(out, key);
+  out += '[';
+  for (size_t i = 0; i < vs.size(); i++) {
+    if (i != 0) {
+      out += ',';
+    }
+    AppendU64(out, vs[i]);
+  }
+  out += ']';
+}
+
+void AppendStringArray(std::string& out, const char* key, const std::vector<std::string>& vs) {
+  AppendKey(out, key);
+  out += '[';
+  for (size_t i = 0; i < vs.size(); i++) {
+    if (i != 0) {
+      out += ',';
+    }
+    AppendString(out, vs[i]);
+  }
+  out += ']';
+}
+
+void AppendOpSummaryArray(std::string& out, const char* key,
+                          const std::vector<OpLatencySummary>& vs) {
+  AppendKey(out, key);
+  out += '[';
+  for (size_t i = 0; i < vs.size(); i++) {
+    if (i != 0) {
+      out += ',';
+    }
+    out += '{';
+    AppendU64Field(out, "count", vs[i].count);
+    out += ',';
+    AppendU64Field(out, "p50_ns", vs[i].p50_ns);
+    out += ',';
+    AppendU64Field(out, "p99_ns", vs[i].p99_ns);
+    out += ',';
+    AppendU64Field(out, "p999_ns", vs[i].p999_ns);
+    out += ',';
+    AppendU64Field(out, "max_ns", vs[i].max_ns);
+    out += '}';
+  }
+  out += ']';
+}
+
+// --- minimal JSON reader ----------------------------------------------------
+// Parses exactly the subset this file's writer emits: objects, arrays,
+// strings with \" \\ \uXXXX escapes, booleans, null, and non-negative
+// integers (everything numeric in .pmmetrics is a uint64).
+
+struct JsonValue {
+  enum class Kind : uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  uint64_t number = 0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;  // insertion order
+
+  const JsonValue* Find(const char* key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) {
+        return &v;
+      }
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  bool Parse(JsonValue* out) {
+    SkipWs();
+    if (!ParseValue(out)) {
+      return false;
+    }
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) {
+      pos_++;
+    }
+  }
+  bool Eat(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      pos_++;
+      return true;
+    }
+    return false;
+  }
+  bool ParseLiteral(const char* lit) {
+    size_t n = 0;
+    while (lit[n] != '\0') {
+      n++;
+    }
+    if (s_.compare(pos_, n, lit) != 0) {
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+  bool ParseString(std::string* out) {
+    if (!Eat('"')) {
+      return false;
+    }
+    out->clear();
+    while (pos_ < s_.size()) {
+      char c = s_[pos_++];
+      if (c == '"') {
+        return true;
+      }
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) {
+        return false;
+      }
+      char esc = s_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          *out += esc;
+          break;
+        case 'n':
+          *out += '\n';
+          break;
+        case 't':
+          *out += '\t';
+          break;
+        case 'r':
+          *out += '\r';
+          break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) {
+            return false;
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; i++) {
+            char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return false;
+            }
+          }
+          // Writer only emits \u00XX control escapes; anything wider is
+          // replaced, not reconstructed.
+          *out += code < 0x80 ? static_cast<char>(code) : '?';
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;  // unterminated
+  }
+  bool ParseValue(JsonValue* out) {
+    SkipWs();
+    if (pos_ >= s_.size()) {
+      return false;
+    }
+    char c = s_[pos_];
+    if (c == '{') {
+      pos_++;
+      out->kind = JsonValue::Kind::kObject;
+      SkipWs();
+      if (Eat('}')) {
+        return true;
+      }
+      while (true) {
+        SkipWs();
+        std::string key;
+        if (!ParseString(&key)) {
+          return false;
+        }
+        SkipWs();
+        if (!Eat(':')) {
+          return false;
+        }
+        JsonValue v;
+        if (!ParseValue(&v)) {
+          return false;
+        }
+        out->object.emplace_back(std::move(key), std::move(v));
+        SkipWs();
+        if (Eat('}')) {
+          return true;
+        }
+        if (!Eat(',')) {
+          return false;
+        }
+      }
+    }
+    if (c == '[') {
+      pos_++;
+      out->kind = JsonValue::Kind::kArray;
+      SkipWs();
+      if (Eat(']')) {
+        return true;
+      }
+      while (true) {
+        JsonValue v;
+        if (!ParseValue(&v)) {
+          return false;
+        }
+        out->array.push_back(std::move(v));
+        SkipWs();
+        if (Eat(']')) {
+          return true;
+        }
+        if (!Eat(',')) {
+          return false;
+        }
+      }
+    }
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->str);
+    }
+    if (c == 't' || c == 'f') {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = c == 't';
+      return ParseLiteral(c == 't' ? "true" : "false");
+    }
+    if (c == 'n') {
+      out->kind = JsonValue::Kind::kNull;
+      return ParseLiteral("null");
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      out->kind = JsonValue::Kind::kNumber;
+      out->number = 0;
+      while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0) {
+        out->number = out->number * 10 + static_cast<uint64_t>(s_[pos_] - '0');
+        pos_++;
+      }
+      return true;
+    }
+    return false;
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+uint64_t GetU64(const JsonValue& obj, const char* key) {
+  const JsonValue* v = obj.Find(key);
+  return v != nullptr && v->kind == JsonValue::Kind::kNumber ? v->number : 0;
+}
+
+std::string GetString(const JsonValue& obj, const char* key) {
+  const JsonValue* v = obj.Find(key);
+  return v != nullptr && v->kind == JsonValue::Kind::kString ? v->str : std::string();
+}
+
+std::vector<uint64_t> GetU64Array(const JsonValue& obj, const char* key) {
+  std::vector<uint64_t> out;
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr || v->kind != JsonValue::Kind::kArray) {
+    return out;
+  }
+  out.reserve(v->array.size());
+  for (const JsonValue& e : v->array) {
+    out.push_back(e.kind == JsonValue::Kind::kNumber ? e.number : 0);
+  }
+  return out;
+}
+
+std::vector<std::string> GetStringArray(const JsonValue& obj, const char* key) {
+  std::vector<std::string> out;
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr || v->kind != JsonValue::Kind::kArray) {
+    return out;
+  }
+  out.reserve(v->array.size());
+  for (const JsonValue& e : v->array) {
+    out.push_back(e.str);
+  }
+  return out;
+}
+
+std::vector<OpLatencySummary> GetOpSummaryArray(const JsonValue& obj, const char* key) {
+  std::vector<OpLatencySummary> out;
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr || v->kind != JsonValue::Kind::kArray) {
+    return out;
+  }
+  for (const JsonValue& e : v->array) {
+    OpLatencySummary s;
+    s.count = GetU64(e, "count");
+    s.p50_ns = GetU64(e, "p50_ns");
+    s.p99_ns = GetU64(e, "p99_ns");
+    s.p999_ns = GetU64(e, "p999_ns");
+    s.max_ns = GetU64(e, "max_ns");
+    out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string SerializeHeader(const PmMetricsHeader& header) {
+  std::string out = "{\"type\":\"header\",";
+  AppendU64Field(out, "pmmetrics", kPmMetricsVersion);
+  out += ',';
+  AppendKey(out, "label");
+  AppendString(out, header.label);
+  out += ',';
+  AppendU64Field(out, "epoch_ns", header.epoch_ns);
+  out += ',';
+  AppendU64Field(out, "threads", header.threads);
+  out += ',';
+  AppendU64Field(out, "ops", header.ops);
+  out += ',';
+  AppendStringArray(out, "op_kinds", header.op_kinds);
+  out += ',';
+  AppendStringArray(out, "counters", header.counters);
+  out += ',';
+  AppendStringArray(out, "components", header.components);
+  out += "}\n";
+  return out;
+}
+
+std::string SerializeEpoch(const EpochRecord& epoch) {
+  std::string out = "{\"type\":\"epoch\",";
+  AppendU64Field(out, "i", epoch.index);
+  out += ',';
+  AppendU64Field(out, "t_ns", epoch.t_ns);
+  out += ',';
+  AppendU64Array(out, "ops", epoch.ops);
+  out += ',';
+  AppendU64Array(out, "p50_ns", epoch.p50_ns);
+  out += ',';
+  AppendU64Array(out, "p99_ns", epoch.p99_ns);
+  out += ',';
+  AppendU64Array(out, "p999_ns", epoch.p999_ns);
+  out += ',';
+  AppendU64Field(out, "user_bytes", epoch.user_bytes);
+  out += ',';
+  AppendU64Field(out, "xpbuffer_write_bytes", epoch.xpbuffer_write_bytes);
+  out += ',';
+  AppendU64Field(out, "media_write_bytes", epoch.media_write_bytes);
+  out += ',';
+  AppendU64Field(out, "media_read_bytes", epoch.media_read_bytes);
+  out += ',';
+  AppendU64Field(out, "line_flushes", epoch.line_flushes);
+  out += ',';
+  AppendU64Field(out, "fences", epoch.fences);
+  out += ',';
+  AppendU64Array(out, "comp_bytes", epoch.comp_bytes);
+  out += ",\"xpbuf\":{";
+  AppendU64Field(out, "resident", epoch.xpbuf_resident);
+  out += ',';
+  AppendU64Field(out, "insertions", epoch.xpbuf_insertions);
+  out += ',';
+  AppendU64Field(out, "evictions", epoch.xpbuf_evictions);
+  out += "},";
+  AppendU64Array(out, "counters", epoch.counters);
+  out += ",\"gauges\":{";
+  for (size_t i = 0; i < epoch.gauges.size(); i++) {
+    if (i != 0) {
+      out += ',';
+    }
+    AppendString(out, epoch.gauges[i].first);
+    out += ':';
+    AppendU64(out, epoch.gauges[i].second);
+  }
+  out += "}}\n";
+  return out;
+}
+
+std::string SerializeEpochSeries(const EpochSeries& series) {
+  std::string out;
+  for (const EpochRecord& e : series) {
+    out += SerializeEpoch(e);
+  }
+  return out;
+}
+
+std::string SerializeSummary(const PmMetricsSummary& summary) {
+  std::string out = "{\"type\":\"summary\",";
+  AppendU64Field(out, "elapsed_virtual_ns", summary.elapsed_virtual_ns);
+  out += ',';
+  AppendOpSummaryArray(out, "virt", summary.virt);
+  out += ',';
+  AppendOpSummaryArray(out, "wall", summary.wall);
+  out += "}\n";
+  return out;
+}
+
+OpLatencySummary SummarizeHistogram(const Histogram& h) {
+  OpLatencySummary s;
+  s.count = h.Count();
+  s.p50_ns = h.Percentile(50);
+  s.p99_ns = h.Percentile(99);
+  s.p999_ns = h.Percentile(99.9);
+  s.max_ns = h.Max();
+  return s;
+}
+
+bool ReadPmMetricsFile(const std::string& path, PmMetricsFile* out, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) {
+      *error = "cannot open " + path;
+    }
+    return false;
+  }
+  std::string line;
+  size_t lineno = 0;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    lineno++;
+    if (line.empty()) {
+      continue;
+    }
+    JsonValue v;
+    if (!JsonParser(line).Parse(&v) || v.kind != JsonValue::Kind::kObject) {
+      if (error != nullptr) {
+        *error = path + ":" + std::to_string(lineno) + ": malformed JSON line";
+      }
+      return false;
+    }
+    std::string type = GetString(v, "type");
+    if (type == "header") {
+      if (GetU64(v, "pmmetrics") != kPmMetricsVersion) {
+        if (error != nullptr) {
+          *error = path + ": unsupported pmmetrics version";
+        }
+        return false;
+      }
+      out->header.label = GetString(v, "label");
+      out->header.epoch_ns = GetU64(v, "epoch_ns");
+      out->header.threads = GetU64(v, "threads");
+      out->header.ops = GetU64(v, "ops");
+      out->header.op_kinds = GetStringArray(v, "op_kinds");
+      out->header.counters = GetStringArray(v, "counters");
+      out->header.components = GetStringArray(v, "components");
+      saw_header = true;
+    } else if (type == "epoch") {
+      EpochRecord e;
+      e.index = GetU64(v, "i");
+      e.t_ns = GetU64(v, "t_ns");
+      e.ops = GetU64Array(v, "ops");
+      e.p50_ns = GetU64Array(v, "p50_ns");
+      e.p99_ns = GetU64Array(v, "p99_ns");
+      e.p999_ns = GetU64Array(v, "p999_ns");
+      e.user_bytes = GetU64(v, "user_bytes");
+      e.xpbuffer_write_bytes = GetU64(v, "xpbuffer_write_bytes");
+      e.media_write_bytes = GetU64(v, "media_write_bytes");
+      e.media_read_bytes = GetU64(v, "media_read_bytes");
+      e.line_flushes = GetU64(v, "line_flushes");
+      e.fences = GetU64(v, "fences");
+      e.comp_bytes = GetU64Array(v, "comp_bytes");
+      if (const JsonValue* x = v.Find("xpbuf"); x != nullptr) {
+        e.xpbuf_resident = GetU64(*x, "resident");
+        e.xpbuf_insertions = GetU64(*x, "insertions");
+        e.xpbuf_evictions = GetU64(*x, "evictions");
+      }
+      e.counters = GetU64Array(v, "counters");
+      if (const JsonValue* g = v.Find("gauges");
+          g != nullptr && g->kind == JsonValue::Kind::kObject) {
+        for (const auto& [name, value] : g->object) {
+          e.gauges.emplace_back(
+              name, value.kind == JsonValue::Kind::kNumber ? value.number : 0);
+        }
+      }
+      out->epochs.push_back(std::move(e));
+    } else if (type == "summary") {
+      out->has_summary = true;
+      out->summary.elapsed_virtual_ns = GetU64(v, "elapsed_virtual_ns");
+      out->summary.virt = GetOpSummaryArray(v, "virt");
+      out->summary.wall = GetOpSummaryArray(v, "wall");
+    }
+    // Unknown record types: skip (forward compatibility).
+  }
+  if (!saw_header) {
+    if (error != nullptr) {
+      *error = path + ": no header record";
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace cclbt::metrics

@@ -1,0 +1,145 @@
+// .pmmetrics — the JSON-lines time-series interchange format between a bench
+// run and tools/pmctl (`top` / `series`). One file per measured run, three
+// record types, one JSON object per line:
+//
+//   {"type":"header", ...}    run identity: label, epoch_ns, threads, ops,
+//                             plus the op-kind / counter / component name
+//                             tables that index the epoch arrays
+//   {"type":"epoch", ...}     one per virtual-time epoch: windowed pmsim
+//                             stats (user/xpbuffer/media bytes -> windowed
+//                             XBI/CLI), windowed media bytes by component,
+//                             windowed per-op-kind latency percentiles
+//                             (virtual ns), cumulative XPBuffer occupancy /
+//                             insertion / eviction gauges, windowed registry
+//                             counters, and sampled index gauges
+//   {"type":"summary", ...}   end-of-run totals incl. the WALL-time latency
+//                             histograms
+//
+// Determinism contract: header and epoch records contain virtual-time /
+// count data only and are bit-identical run-to-run for a deterministic
+// RunConfig (the CI metrics-determinism gate diffs them). Everything derived
+// from wall time lives exclusively in the summary record.
+//
+// Invariant (extends the PR 2 sum-to-total contract to every window): in
+// every epoch record, sum(comp_bytes) == media_write_bytes. `pmctl series`
+// exits nonzero when any epoch violates it.
+#ifndef SRC_METRICS_PMMETRICS_H_
+#define SRC_METRICS_PMMETRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/metrics/metrics.h"
+
+namespace cclbt::metrics {
+
+inline constexpr int kPmMetricsVersion = 1;
+
+struct PmMetricsHeader {
+  std::string label;
+  uint64_t epoch_ns = 0;
+  uint64_t threads = 0;
+  uint64_t ops = 0;
+  // Name tables indexing the epoch-record arrays, in serialized order.
+  std::vector<std::string> op_kinds;
+  std::vector<std::string> counters;
+  std::vector<std::string> components;
+};
+
+// One virtual-time window. All byte/count fields except the xpbuf_* gauges
+// are windowed deltas over [previous epoch end, t_ns]; xpbuf_* are
+// cumulative values sampled at t_ns (windowed eviction rate = delta of
+// consecutive records).
+struct EpochRecord {
+  uint64_t index = 0;
+  uint64_t t_ns = 0;  // window end, virtual time
+  std::vector<uint64_t> ops;      // per op kind
+  std::vector<uint64_t> p50_ns;   // windowed virtual-latency percentiles
+  std::vector<uint64_t> p99_ns;   //   (0 where the window had no ops of
+  std::vector<uint64_t> p999_ns;  //    that kind)
+  uint64_t user_bytes = 0;
+  uint64_t xpbuffer_write_bytes = 0;
+  uint64_t media_write_bytes = 0;
+  uint64_t media_read_bytes = 0;
+  uint64_t line_flushes = 0;
+  uint64_t fences = 0;
+  std::vector<uint64_t> comp_bytes;  // windowed media bytes per component
+  uint64_t xpbuf_resident = 0;       // cumulative gauges at t_ns
+  uint64_t xpbuf_insertions = 0;
+  uint64_t xpbuf_evictions = 0;
+  std::vector<uint64_t> counters;  // windowed registry counters
+  std::vector<std::pair<std::string, uint64_t>> gauges;  // sampled index gauges
+
+  // Windowed amplification (paper §2.1, per epoch instead of endpoint).
+  double WindowCli() const {
+    return user_bytes == 0 ? 0.0
+                           : static_cast<double>(xpbuffer_write_bytes) /
+                                 static_cast<double>(user_bytes);
+  }
+  double WindowXbi() const {
+    return user_bytes == 0
+               ? 0.0
+               : static_cast<double>(media_write_bytes) / static_cast<double>(user_bytes);
+  }
+  uint64_t TotalOps() const {
+    uint64_t n = 0;
+    for (uint64_t v : ops) {
+      n += v;
+    }
+    return n;
+  }
+  uint64_t ComponentBytesTotal() const {
+    uint64_t n = 0;
+    for (uint64_t v : comp_bytes) {
+      n += v;
+    }
+    return n;
+  }
+};
+
+using EpochSeries = std::vector<EpochRecord>;
+
+// Per-op-kind latency digest in the summary record.
+struct OpLatencySummary {
+  uint64_t count = 0;
+  uint64_t p50_ns = 0;
+  uint64_t p99_ns = 0;
+  uint64_t p999_ns = 0;
+  uint64_t max_ns = 0;
+};
+
+struct PmMetricsSummary {
+  uint64_t elapsed_virtual_ns = 0;
+  std::vector<OpLatencySummary> virt;  // per op kind, deterministic
+  std::vector<OpLatencySummary> wall;  // per op kind, host wall time
+};
+
+// A parsed .pmmetrics file (tools/pmctl).
+struct PmMetricsFile {
+  PmMetricsHeader header;
+  EpochSeries epochs;
+  bool has_summary = false;
+  PmMetricsSummary summary;
+};
+
+// --- serialization (one "...\n" JSON line each; key order is fixed so the
+// deterministic records diff bit-identically) -------------------------------
+std::string SerializeHeader(const PmMetricsHeader& header);
+std::string SerializeEpoch(const EpochRecord& epoch);
+// All epoch lines concatenated — the deterministic payload the CI gate and
+// the snapshot-determinism tests compare.
+std::string SerializeEpochSeries(const EpochSeries& series);
+std::string SerializeSummary(const PmMetricsSummary& summary);
+
+OpLatencySummary SummarizeHistogram(const Histogram& h);
+
+// --- parsing ----------------------------------------------------------------
+// Parses a .pmmetrics file. Returns false and fills *error on malformed
+// input (unknown record types are skipped for forward compatibility).
+bool ReadPmMetricsFile(const std::string& path, PmMetricsFile* out, std::string* error);
+
+}  // namespace cclbt::metrics
+
+#endif  // SRC_METRICS_PMMETRICS_H_

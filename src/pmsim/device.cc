@@ -524,6 +524,16 @@ uint64_t PmDevice::MaxDimmBusyNs() const {
   return max_busy;
 }
 
+PmDevice::XpBufferTotals PmDevice::SampleXpBuffers() const {
+  XpBufferTotals totals;
+  for (const auto& xpbuffer : xpbuffers_) {
+    totals.resident += xpbuffer->resident();
+    totals.insertions += xpbuffer->insertions();
+    totals.evictions += xpbuffer->evictions();
+  }
+  return totals;
+}
+
 uint64_t PmDevice::MaxContextClockNs() const {
   uint64_t frontier = 0;
   std::lock_guard<std::mutex> guard(contexts_mu_);

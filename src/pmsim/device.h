@@ -130,6 +130,17 @@ class PmDevice {
   // modeled elapsed time is max(worker clocks, this).
   uint64_t MaxDimmBusyNs() const;
 
+  // XPBuffer occupancy/churn aggregated over every DIMM's buffer, for the
+  // metrics epoch gauges. Each per-buffer accessor takes that buffer's lock;
+  // exact when quiesced, a consistent-enough sample otherwise. Windowed
+  // eviction rate = delta of `evictions` across consecutive samples.
+  struct XpBufferTotals {
+    uint64_t resident = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+  };
+  XpBufferTotals SampleXpBuffers() const;
+
   // Frontier of all registered contexts' virtual clocks. A deterministic
   // background participant (e.g. CCL-BTree's GC context) fast-forwards to
   // this point before running, so its work lands "now" in the simulated

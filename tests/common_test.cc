@@ -9,7 +9,6 @@
 #include <gtest/gtest.h>
 
 #include "src/common/fingerprint.h"
-#include "src/common/histogram.h"
 #include "src/common/keyspace.h"
 #include "src/common/ordo.h"
 #include "src/common/rng.h"
@@ -102,55 +101,8 @@ TEST(Zipfian, ScrambledSpreadsHotKeys) {
   EXPECT_GT(std::max(k0, k1) - std::min(k0, k1), 1u);
 }
 
-TEST(Histogram, PercentilesOrdered) {
-  LatencyHistogram hist;
-  Rng rng(1);
-  for (int i = 0; i < 100000; i++) {
-    hist.Record(rng.NextBounded(1000000));
-  }
-  EXPECT_LE(hist.Percentile(50), hist.Percentile(90));
-  EXPECT_LE(hist.Percentile(90), hist.Percentile(99));
-  EXPECT_LE(hist.Percentile(99), hist.Percentile(99.9));
-  EXPECT_LE(hist.Percentile(99.9), hist.Max());
-  EXPECT_GE(hist.Percentile(0), hist.Min());
-}
-
-TEST(Histogram, ExactForSmallValues) {
-  LatencyHistogram hist;
-  for (uint64_t v = 0; v < 20; v++) {
-    hist.Record(v);
-  }
-  EXPECT_EQ(hist.Min(), 0u);
-  EXPECT_EQ(hist.Max(), 19u);
-  EXPECT_EQ(hist.Count(), 20u);
-}
-
-TEST(Histogram, MedianApproximatelyCorrect) {
-  LatencyHistogram hist;
-  for (uint64_t v = 1; v <= 10000; v++) {
-    hist.Record(v);
-  }
-  uint64_t median = hist.Percentile(50);
-  EXPECT_NEAR(static_cast<double>(median), 5000.0, 5000.0 * 0.05);
-}
-
-TEST(Histogram, MergeCombinesCounts) {
-  LatencyHistogram a;
-  LatencyHistogram b;
-  a.Record(100);
-  b.Record(1000000);
-  a.Merge(b);
-  EXPECT_EQ(a.Count(), 2u);
-  EXPECT_EQ(a.Min(), 100u);
-  EXPECT_EQ(a.Max(), 1000000u);
-}
-
-TEST(Histogram, EmptyReturnsZero) {
-  LatencyHistogram hist;
-  EXPECT_EQ(hist.Percentile(99), 0u);
-  EXPECT_EQ(hist.Min(), 0u);
-  EXPECT_EQ(hist.Mean(), 0.0);
-}
+// Histogram tests live in tests/metrics_test.cc: the one log-bucketed
+// histogram implementation moved to src/metrics/histogram.h.
 
 TEST(Ordo, MonotonicWithinSocket) {
   OrdoClock clock(100);

@@ -15,9 +15,17 @@
 #   7. determinism: staged benches run twice with pmcheck enabled,
 #      virtual-metric tails diffed (run_benches.sh --determinism; §10 —
 #      diagnostics must not perturb virtual time)
-#   8. ASan+UBSan on the pmsim + trace + GC-scheduling + pmcheck + simd +
+#   8. metrics-determinism: the metrics registry / epoch-series test binary
+#      re-run on its own so a nondeterministic .pmmetrics series is named
+#      explicitly in the CI log (step 7 additionally diffs the epoch series
+#      emitted by the real benches)
+#   9. bench-gate: tools/bench_gate.py --self-test (seeds a fake regression
+#      and requires detection), then fresh results staged at the
+#      bench/baselines/MANIFEST scale/filter and compared against the
+#      checked-in baselines — virtual metrics exact, wall within noise band
+#  10. ASan+UBSan on the pmsim + trace + GC-scheduling + pmcheck + simd +
 #      dram_btree test subset
-#   9. TSan on the same subset (gc_scheduling_test's kOsThread tests are the
+#  11. TSan on the same subset (gc_scheduling_test's kOsThread tests are the
 #      real-concurrency stress of the legacy GC thread; dram_btree_test's
 #      descent stress races optimistic readers against writers)
 #
@@ -74,6 +82,22 @@ ctest --test-dir build -L crash --output-on-failure
 echo "=== determinism: fig03/fig10/fig14 run twice, tails diffed (pmcheck on) ==="
 CCL_PMCHECK=1 CCL_BENCH_SCALE="${CCL_BENCH_SCALE:-60000}" \
   ./run_benches.sh --determinism 'fig03|fig10|fig14'
+
+# Metrics determinism: the registry's own suite (shard-merge conservation,
+# bit-identical epoch series for identical RunConfigs including a
+# background-GC run, percentile oracle) re-run as a named step.
+echo "=== metrics-determinism: ctest -R metrics ==="
+ctest --test-dir build -R metrics --output-on-failure
+
+# Bench regression gate: self-test first (a seeded regression must be
+# detected), then fresh results staged at the baselines' scale/filter and
+# compared — virtual metrics exactly, wall time within the noise band.
+echo "=== bench-gate: bench_gate.py self-test + staged vs baselines ==="
+python3 tools/bench_gate.py --self-test
+GATE_STAGE_DIR="$(mktemp -d)"
+trap 'rm -rf "${GATE_STAGE_DIR}"' EXIT
+./run_benches.sh --gate-stage "${GATE_STAGE_DIR}"
+python3 tools/bench_gate.py --staged "${GATE_STAGE_DIR}"
 
 tools/sanitize.sh asan "${SANITIZE_FILTER}"
 tools/sanitize.sh tsan "${SANITIZE_FILTER}"

@@ -7,7 +7,7 @@ backend would live), and nothing inside a measured region may consult wall
 clocks or nondeterministic RNGs — virtual-metric tails are diffed bit-for-bit
 by the determinism CI gate (DESIGN.md s10).
 
-Rules (R1-R5; see RULES below for the authoritative patterns):
+Rules (R1-R6; see RULES below for the authoritative patterns):
   R1  raw persistence intrinsics (_mm_clwb/_mm_clflush*/_mm_sfence/...,
       __builtin_ia32_*, inline asm) outside src/pmsim/
   R2  wall-clock (std::chrono clocks, gettimeofday, sleep_for/sleep_until)
@@ -21,6 +21,10 @@ Rules (R1-R5; see RULES below for the authoritative patterns):
       src/common/simd.h — index code must go through the dispatched
       primitives in cclbt::simd so every probe keeps a scalar fallback and
       the CCL_SIMD override applies everywhere
+  R6  wall-clock reads in metric-recording code (src/metrics/) outside the
+      sanctioned clock shim src/metrics/clock.h — everything wall-derived
+      must flow through metrics::WallNowNs() so it stays quarantined in the
+      .pmmetrics summary record, never the deterministic epoch series
 
 Usage:
   tools/lint_pm_api.py [--root DIR]   # lint the tree, exit 1 on violations
@@ -70,6 +74,9 @@ SIMD_INTRINSIC_RE = re.compile(r"\b_mm\d*_\w+\s*\(")
 # The one sanctioned home for SIMD outside the simulator (DESIGN.md s12).
 SIMD_HOME = "src/common/simd.h"
 
+# The one sanctioned wall-clock shim for metric recording (metrics::WallNowNs).
+METRICS_CLOCK_HOME = "src/metrics/clock.h"
+
 NONDET_RNG_RE = re.compile(
     r"std::random_device|std::mt19937|\bsrand\s*\(|[^_\w.]rand\s*\(\s*\)"
 )
@@ -92,7 +99,11 @@ RULES = [
     (
         "R2",
         WALLCLOCK_RE,
-        lambda p: (p.startswith("src/") and not p.startswith("src/pmsim/"))
+        lambda p: (
+            p.startswith("src/")
+            and not p.startswith("src/pmsim/")
+            and p != METRICS_CLOCK_HOME
+        )
         or (p.startswith("bench/") and p not in WALLCLOCK_FILE_ALLOWLIST),
         "wall-clock read in measured code (use pmsim virtual time)",
     ),
@@ -114,6 +125,13 @@ RULES = [
         lambda p: not p.startswith("src/pmsim/") and p != SIMD_HOME,
         "raw SIMD intrinsic outside src/common/simd.h "
         "(add a dispatched primitive to cclbt::simd instead)",
+    ),
+    (
+        "R6",
+        WALLCLOCK_RE,
+        lambda p: p.startswith("src/metrics/") and p != METRICS_CLOCK_HOME,
+        "wall-clock read in metric recording outside the sanctioned shim "
+        "src/metrics/clock.h (use metrics::WallNowNs)",
     ),
 ]
 
@@ -163,6 +181,18 @@ SELF_TEST_CASES = [
         "src/core/bad_simd.cc",
         "int f(const char* p) { return _mm256_extract_epi8(_mm256_loadu_si256((const __m256i*)p), 0); }\n",
         "R5",
+    ),
+    # Wall-clock read in metric-recording code outside the sanctioned shim.
+    (
+        "src/metrics/bad_wall.cc",
+        "long f() { return std::chrono::steady_clock::now().time_since_epoch().count(); }\n",
+        "R6",
+    ),
+    # The sanctioned clock shim itself: neither R2 nor R6 may fire.
+    (
+        "src/metrics/clock.h",
+        "long f() { return std::chrono::steady_clock::now().time_since_epoch().count(); }\n",
+        None,
     ),
     # src/common/simd.h is the sanctioned SIMD home: R4/R5 must NOT fire.
     (

@@ -8,6 +8,17 @@
 //   pmctl heatmap <dump> [--cols N] ASCII XPLine write-count heatmap
 //   pmctl trace   <dump> [-o f]     Chrome trace-event JSON (Perfetto-loadable)
 //   pmctl check   <dump>            pmcheck persistency report; exit 3 on violations
+//
+// It also reads the .pmmetrics JSON-lines time series written when
+// CCL_METRICS=<prefix> is set (src/bench/metrics_dump.h):
+//   pmctl top     <dump.pmmetrics>          one-shot terminal dashboard (no
+//                                           polling by design — wrap with
+//                                           `watch -n1` for a live view)
+//   pmctl series  <dump.pmmetrics> [--json] per-epoch time series as CSV
+//                                           (default) or raw JSON lines;
+//                                           exits 3 if any epoch's
+//                                           per-component bytes fail to sum
+//                                           to that epoch's media_write_bytes
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -18,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "src/metrics/pmmetrics.h"
 #include "src/trace/component.h"
 #include "src/trace/event.h"
 #include "src/trace/exporters.h"
@@ -450,16 +462,216 @@ int CmdCheck(const Dump& d) {
   return total == 0 ? 0 : 3;
 }
 
+// --- .pmmetrics commands ----------------------------------------------------
+
+// Verifies the per-epoch extension of the PR 2 sum-to-total invariant: in
+// every epoch, the windowed per-component media bytes must sum exactly to
+// the windowed media_write_bytes. Returns the number of violating epochs
+// (reported to stderr).
+size_t CheckEpochComponentSums(const metrics::PmMetricsFile& f) {
+  size_t bad = 0;
+  for (const metrics::EpochRecord& e : f.epochs) {
+    uint64_t sum = e.ComponentBytesTotal();
+    if (sum != e.media_write_bytes) {
+      std::fprintf(stderr,
+                   "pmctl: epoch %llu: component bytes (%llu) != windowed "
+                   "media_write_bytes (%llu)\n",
+                   static_cast<unsigned long long>(e.index),
+                   static_cast<unsigned long long>(sum),
+                   static_cast<unsigned long long>(e.media_write_bytes));
+      bad++;
+    }
+  }
+  return bad;
+}
+
+std::string Spark(const std::vector<double>& values) {
+  static const char kRamp[] = " .:-=+*#%@";
+  double max_v = 0;
+  for (double v : values) {
+    max_v = std::max(max_v, v);
+  }
+  std::string out;
+  for (double v : values) {
+    int level = max_v == 0 ? 0 : static_cast<int>(v / max_v * 9.0);
+    out += kRamp[std::min(9, std::max(0, level))];
+  }
+  return out;
+}
+
+int CmdTop(const metrics::PmMetricsFile& f) {
+  std::printf("run %-20s  threads %llu  ops %llu  epoch %.3f virtual ms\n",
+              f.header.label.c_str(), static_cast<unsigned long long>(f.header.threads),
+              static_cast<unsigned long long>(f.header.ops),
+              static_cast<double>(f.header.epoch_ns) / 1e6);
+  if (f.has_summary) {
+    std::printf("elapsed %.3f virtual ms\n",
+                static_cast<double>(f.summary.elapsed_virtual_ns) / 1e6);
+  }
+
+  if (!f.epochs.empty()) {
+    // Run-wide windowed aggregates + the most recent epoch's instantaneous view.
+    std::vector<double> xbi_series;
+    std::vector<double> mops_series;
+    uint64_t prev_t = 0;
+    for (const metrics::EpochRecord& e : f.epochs) {
+      xbi_series.push_back(e.WindowXbi());
+      uint64_t dt = e.t_ns - prev_t;
+      mops_series.push_back(dt == 0 ? 0.0
+                                    : static_cast<double>(e.TotalOps()) * 1e3 /
+                                          static_cast<double>(dt));
+      prev_t = e.t_ns;
+    }
+    const metrics::EpochRecord& last = f.epochs.back();
+    std::printf("\n-- windowed series (%zu epochs) --\n", f.epochs.size());
+    std::printf("  Mops |%s|\n", Spark(mops_series).c_str());
+    std::printf("  XBI  |%s|\n", Spark(xbi_series).c_str());
+    std::printf("\n-- last epoch (t=%.3f virtual ms) --\n",
+                static_cast<double>(last.t_ns) / 1e6);
+    std::printf("  Mops %8.3f   CLI %7.3f   XBI %7.3f   flush/op %6.2f   fence/op %6.2f\n",
+                mops_series.back(), last.WindowCli(), last.WindowXbi(),
+                last.TotalOps() == 0 ? 0.0
+                                     : static_cast<double>(last.line_flushes) /
+                                           static_cast<double>(last.TotalOps()),
+                last.TotalOps() == 0 ? 0.0
+                                     : static_cast<double>(last.fences) /
+                                           static_cast<double>(last.TotalOps()));
+    std::printf("  xpbuffer: resident %llu lines, insertions %llu, evictions %llu\n",
+                static_cast<unsigned long long>(last.xpbuf_resident),
+                static_cast<unsigned long long>(last.xpbuf_insertions),
+                static_cast<unsigned long long>(last.xpbuf_evictions));
+    if (!last.comp_bytes.empty()) {
+      std::printf("  media bytes by component:");
+      for (size_t c = 0; c < last.comp_bytes.size(); c++) {
+        if (last.comp_bytes[c] == 0) {
+          continue;
+        }
+        std::printf(" %s=%llu",
+                    c < f.header.components.size() ? f.header.components[c].c_str() : "?",
+                    static_cast<unsigned long long>(last.comp_bytes[c]));
+      }
+      std::printf("\n");
+    }
+    if (!last.gauges.empty()) {
+      std::printf("  index gauges:");
+      for (const auto& [name, value] : last.gauges) {
+        std::printf(" %s=%llu", name.c_str(), static_cast<unsigned long long>(value));
+      }
+      std::printf("\n");
+    }
+  } else {
+    std::printf("\n(no epoch records; os_parallel runs collect totals only)\n");
+  }
+
+  if (f.has_summary) {
+    std::printf("\n-- per-op latency (virtual ns | wall ns) --\n");
+    std::printf("  %-8s %12s %10s %10s %10s | %10s %10s %10s\n", "op", "count", "p50", "p99",
+                "p999", "p50", "p99", "p999");
+    for (size_t k = 0; k < f.summary.virt.size(); k++) {
+      const metrics::OpLatencySummary& v = f.summary.virt[k];
+      if (v.count == 0) {
+        continue;
+      }
+      const metrics::OpLatencySummary w =
+          k < f.summary.wall.size() ? f.summary.wall[k] : metrics::OpLatencySummary{};
+      std::printf("  %-8s %12llu %10llu %10llu %10llu | %10llu %10llu %10llu\n",
+                  k < f.header.op_kinds.size() ? f.header.op_kinds[k].c_str() : "?",
+                  static_cast<unsigned long long>(v.count),
+                  static_cast<unsigned long long>(v.p50_ns),
+                  static_cast<unsigned long long>(v.p99_ns),
+                  static_cast<unsigned long long>(v.p999_ns),
+                  static_cast<unsigned long long>(w.p50_ns),
+                  static_cast<unsigned long long>(w.p99_ns),
+                  static_cast<unsigned long long>(w.p999_ns));
+    }
+  }
+
+  size_t bad = CheckEpochComponentSums(f);
+  if (bad != 0) {
+    std::printf("\nWARNING: %zu epoch(s) violate the component-sum invariant\n", bad);
+    return 3;
+  }
+  return 0;
+}
+
+int CmdSeries(const metrics::PmMetricsFile& f, bool json) {
+  if (json) {
+    // Raw record lines (the deterministic payload), re-serialized.
+    std::fputs(metrics::SerializeHeader(f.header).c_str(), stdout);
+    std::fputs(metrics::SerializeEpochSeries(f.epochs).c_str(), stdout);
+  } else {
+    // CSV: one row per epoch, stable column order derived from the header
+    // name tables (gauge columns from the first epoch's gauge list).
+    std::string head = "epoch,t_ns";
+    for (const std::string& k : f.header.op_kinds) {
+      head += ",ops_" + k + ",p50_ns_" + k + ",p99_ns_" + k + ",p999_ns_" + k;
+    }
+    head +=
+        ",user_bytes,xpbuffer_write_bytes,media_write_bytes,media_read_bytes,"
+        "line_flushes,fences,window_cli,window_xbi";
+    for (const std::string& c : f.header.components) {
+      head += ",mwB_" + c;
+    }
+    head += ",xpbuf_resident,xpbuf_insertions,xpbuf_evictions";
+    for (const std::string& c : f.header.counters) {
+      head += "," + c;
+    }
+    if (!f.epochs.empty()) {
+      for (const auto& [name, value] : f.epochs.front().gauges) {
+        (void)value;
+        head += ",gauge_" + name;
+      }
+    }
+    std::printf("%s\n", head.c_str());
+    auto cell = [](uint64_t v) { return std::to_string(v); };
+    for (const metrics::EpochRecord& e : f.epochs) {
+      std::string row = cell(e.index) + "," + cell(e.t_ns);
+      for (size_t k = 0; k < f.header.op_kinds.size(); k++) {
+        row += "," + cell(k < e.ops.size() ? e.ops[k] : 0);
+        row += "," + cell(k < e.p50_ns.size() ? e.p50_ns[k] : 0);
+        row += "," + cell(k < e.p99_ns.size() ? e.p99_ns[k] : 0);
+        row += "," + cell(k < e.p999_ns.size() ? e.p999_ns[k] : 0);
+      }
+      row += "," + cell(e.user_bytes) + "," + cell(e.xpbuffer_write_bytes) + "," +
+             cell(e.media_write_bytes) + "," + cell(e.media_read_bytes) + "," +
+             cell(e.line_flushes) + "," + cell(e.fences);
+      char amp[64];
+      std::snprintf(amp, sizeof(amp), ",%.6f,%.6f", e.WindowCli(), e.WindowXbi());
+      row += amp;
+      for (size_t c = 0; c < f.header.components.size(); c++) {
+        row += "," + cell(c < e.comp_bytes.size() ? e.comp_bytes[c] : 0);
+      }
+      row += "," + cell(e.xpbuf_resident) + "," + cell(e.xpbuf_insertions) + "," +
+             cell(e.xpbuf_evictions);
+      for (size_t c = 0; c < f.header.counters.size(); c++) {
+        row += "," + cell(c < e.counters.size() ? e.counters[c] : 0);
+      }
+      for (const auto& [name, value] : e.gauges) {
+        (void)name;
+        row += "," + cell(value);
+      }
+      std::printf("%s\n", row.c_str());
+    }
+  }
+  // The CI contract: a series export fails loudly when any epoch's
+  // per-component bytes do not sum to the windowed media-write delta.
+  return CheckEpochComponentSums(f) == 0 ? 0 : 3;
+}
+
 int Usage() {
   std::cerr
-      << "usage: pmctl <stats|watch|heatmap|trace|check> <dump.pmtrace> [options]\n"
-         "  stats   <dump>              counters, amplification, per-component breakdown\n"
-         "  watch   <dump>              stats timeline as per-interval rates\n"
-         "  heatmap <dump> [--cols N]   ASCII XPLine write heatmap (default 64 cols)\n"
-         "  trace   <dump> [-o f.json]  Chrome trace JSON to f.json (default stdout)\n"
-         "  check   <dump>              pmcheck persistency report; exit 3 on violations\n"
-         "Produce dumps by running any bench with CCL_TRACE=<path-prefix>\n"
-         "(add CCL_PMCHECK=1 for a dump `pmctl check` can report on).\n";
+      << "usage: pmctl <stats|watch|heatmap|trace|check|top|series> <dump> [options]\n"
+         "  stats   <dump.pmtrace>              counters, amplification, per-component breakdown\n"
+         "  watch   <dump.pmtrace>              stats timeline as per-interval rates\n"
+         "  heatmap <dump.pmtrace> [--cols N]   ASCII XPLine write heatmap (default 64 cols)\n"
+         "  trace   <dump.pmtrace> [-o f.json]  Chrome trace JSON to f.json (default stdout)\n"
+         "  check   <dump.pmtrace>              pmcheck persistency report; exit 3 on violations\n"
+         "  top     <dump.pmmetrics>            terminal dashboard (one-shot; `watch -n1` for live)\n"
+         "  series  <dump.pmmetrics> [--json]   per-epoch series as CSV (default) or JSON lines;\n"
+         "                                      exit 3 on component-sum violation\n"
+         "Produce .pmtrace dumps by running any bench with CCL_TRACE=<path-prefix>\n"
+         "(add CCL_PMCHECK=1 for a dump `pmctl check` can report on), and\n"
+         ".pmmetrics dumps with CCL_METRICS=<path-prefix>.\n";
   return 64;
 }
 
@@ -469,6 +681,24 @@ int Main(int argc, char** argv) {
   }
   std::string cmd = argv[1];
   std::string path = argv[2];
+  if (cmd == "top" || cmd == "series") {
+    metrics::PmMetricsFile f;
+    std::string error;
+    if (!metrics::ReadPmMetricsFile(path, &f, &error)) {
+      std::fprintf(stderr, "pmctl: %s\n", error.c_str());
+      return 1;
+    }
+    if (cmd == "top") {
+      return CmdTop(f);
+    }
+    bool json = false;
+    for (int i = 3; i < argc; i++) {
+      if (std::strcmp(argv[i], "--json") == 0) {
+        json = true;
+      }
+    }
+    return CmdSeries(f, json);
+  }
   Dump d;
   if (!ParseDump(path, d)) {
     return 1;
