@@ -1,10 +1,11 @@
-// Extra ablation (not in the paper): XPBuffer-capacity sensitivity. With a
-// larger write-combining buffer, random flush streams combine better and the
-// XBI gap between CCL-BTree and an unbuffered design narrows — validating
-// that the simulator's XBI numbers come from the buffer model, not from an
-// unrelated constant.
+// Backend matrix (DESIGN.md §14): the full index suite under every
+// persistence-domain backend in one sweep — ADR/Optane (explicit flushes,
+// 256 B XPLines), eADR (flush-free, modeled CPU-cache evictions), and
+// page-granular CXL-mem (1 KB / 4 KB media units). One deterministic row per
+// backend × index pair; XBI/CLI across rows show how each design's write
+// amplification moves with the persistence domain, the paper's §6
+// transferability claim in a single artifact (BENCH_backend_matrix.json).
 #include <string>
-#include <vector>
 
 #include "bench/bench_common.h"
 
@@ -13,16 +14,9 @@ namespace {
 
 void RegisterAll() {
   uint64_t scale = BenchScale();
-  for (size_t xpbuffer_kb : {4, 16, 64, 256}) {
-    const std::vector<std::string> kIndexes = {"fptree", "cclbtree"};
-    for (const std::string& name : kIndexes) {
-      std::string bench_name =
-          "extra_xpbuf/" + name + "/kb:" + std::to_string(xpbuffer_kb);
-      // Pinned to the ADR/Optane backend (DESIGN.md §14): the ablation sweeps
-      // the XPBuffer capacity of the explicit-flush domain.
-      BackendSpec spec;
-      spec.name = "adr";
-      spec.buffer_bytes = xpbuffer_kb * 1024;
+  for (const BackendSpec& spec : MatrixBackends()) {
+    for (const std::string& name : AllIndexNames()) {
+      std::string bench_name = "backend_matrix/" + spec.name + "/" + name;
       benchmark::RegisterBenchmark(bench_name.c_str(), [=](benchmark::State& state) {
         for (auto _ : state) {
           kvindex::RuntimeOptions runtime_options;

@@ -19,14 +19,19 @@ void RegisterAll() {
     const std::vector<std::string> kIndexes = {"fptree", "cclbtree"};
     for (const std::string& name : kIndexes) {
       std::string bench_name = "extra_cxl/" + name + "/unit:" + std::to_string(unit);
+      // The CXL-mem backend with its persistent write-combining buffer
+      // (DESIGN.md §14): page-granular media units, buffer capacity held at
+      // 64 media units so the sweep isolates the unit-size effect.
+      BackendSpec spec;
+      spec.name = "cxl" + std::to_string(unit);
+      spec.backend = pmsim::MediaBackend::kCxlMem;
+      spec.unit_bytes = unit;
+      spec.buffer_bytes = 64 * unit;
       benchmark::RegisterBenchmark(bench_name.c_str(), [=](benchmark::State& state) {
         for (auto _ : state) {
           kvindex::RuntimeOptions runtime_options;
           runtime_options.device.pool_bytes = 2ULL << 30;
-          runtime_options.device.xpline_bytes = unit;
-          // Keep the buffer's *capacity in media units* constant (64) so the
-          // sweep isolates the unit-size effect.
-          runtime_options.device.xpbuffer_bytes = 64 * unit;
+          ApplyBackendSpec(spec, runtime_options.device);
           kvindex::Runtime runtime(runtime_options);
           auto index = MakeIndex(name, runtime, {});
           RunConfig config;

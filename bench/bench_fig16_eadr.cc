@@ -13,6 +13,12 @@ namespace {
 
 void RegisterAll() {
   uint64_t scale = BenchScale();
+  // The eADR persistence-domain backend (DESIGN.md §14); crash tracking off —
+  // this is a perf run only.
+  BackendSpec spec;
+  spec.name = "eadr";
+  spec.backend = pmsim::MediaBackend::kEadr;
+  spec.crash_tracking = false;
   for (const std::string& name : TreeIndexNames()) {
     for (int threads : {1, 24, 48, 72, 96}) {
       std::string bench_name = "fig16/" + name + "/threads:" + std::to_string(threads);
@@ -20,8 +26,7 @@ void RegisterAll() {
         for (auto _ : state) {
           kvindex::RuntimeOptions runtime_options;
           runtime_options.device.pool_bytes = 2ULL << 30;
-          runtime_options.device.eadr = true;
-          runtime_options.device.crash_tracking = false;  // eADR perf run only
+          ApplyBackendSpec(spec, runtime_options.device);
           kvindex::Runtime runtime(runtime_options);
           auto index = MakeIndex(name, runtime, {});
           RunConfig config;

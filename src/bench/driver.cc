@@ -13,6 +13,7 @@
 #include "src/metrics/clock.h"
 #include "src/metrics/metrics.h"
 #include "src/pmem/value_store.h"
+#include "src/pmsim/media_model.h"
 #include "src/trace/trace.h"
 
 namespace cclbt::bench {
@@ -441,6 +442,7 @@ RunResult RunWorkload(kvindex::Runtime& runtime, kvindex::KvIndex& index,
   if (metrics_dump) {
     metrics::PmMetricsFile file;
     file.header.label = config.trace_label.empty() ? "run" : config.trace_label;
+    file.header.backend = pmsim::MediaBackendName(runtime.device().config().backend);
     file.header.epoch_ns = epoch_ns;
     file.header.threads = static_cast<uint64_t>(config.threads);
     file.header.ops = config.ops;
@@ -491,6 +493,14 @@ RunResult RunIndexWorkload(const std::string& index_name, const RunConfig& confi
   // counters only exist when enabled at device construction).
   runtime_options.device.record_unit_heatmap = TraceDumpRequested();
   runtime_options.device.pmcheck = config.pmcheck;
+  runtime_options.device.backend = config.backend;
+  if (config.media_unit_bytes != 0) {
+    runtime_options.device.xpline_bytes = config.media_unit_bytes;
+  }
+  if (config.media_buffer_bytes != 0) {
+    runtime_options.device.xpbuffer_bytes = config.media_buffer_bytes;
+  }
+  runtime_options.device.cxl_volatile_buffer = config.cxl_volatile_buffer;
   kvindex::Runtime runtime(runtime_options);
   auto index = MakeIndex(index_name, runtime, index_config);
   const std::string label = config.trace_label.empty() ? index_name : config.trace_label;
@@ -508,8 +518,11 @@ RunResult RunIndexWorkload(const std::string& index_name, const RunConfig& confi
     if (!result.trace_dump_path.empty()) {
       AppendPmCheckSection(result.trace_dump_path, result.pmcheck);
     }
-    std::fprintf(stderr, "pmcheck[%s]: %llu violation(s), %llu suppressed, %llu fence epochs\n",
+    std::fprintf(stderr,
+                 "pmcheck[%s]: %llu violation(s), %llu informational, %llu suppressed, "
+                 "%llu fence epochs\n",
                  label.c_str(), static_cast<unsigned long long>(result.pmcheck.total()),
+                 static_cast<unsigned long long>(result.pmcheck.total_info()),
                  static_cast<unsigned long long>(result.pmcheck.total_suppressed()),
                  static_cast<unsigned long long>(result.pmcheck.fence_epochs));
     for (int c = 0; c < pmsim::kNumPmCheckClasses; c++) {

@@ -99,6 +99,19 @@ struct RunConfig {
   // when a trace dump is written, appended to it for `pmctl check`. Never
   // perturbs virtual-time metrics.
   bool pmcheck = false;
+  // Persistence-domain backend for the run's device (DESIGN.md §14). kAuto
+  // resolves through DeviceConfig's legacy eadr flag, then the CCL_BACKEND
+  // environment selector, then defaults to ADR/Optane.
+  pmsim::MediaBackend backend = pmsim::MediaBackend::kAuto;
+  // Media write-combining unit override in bytes (DeviceConfig::xpline_bytes;
+  // 0 = keep the backend default). CXL page-granular runs set 256..4096.
+  size_t media_unit_bytes = 0;
+  // Buffer-capacity override in bytes (DeviceConfig::xpbuffer_bytes; 0 =
+  // keep the backend default).
+  size_t media_buffer_bytes = 0;
+  // CXL only: model a volatile device-side write-combining buffer instead of
+  // a persistent one (committed lines stage until unit eviction).
+  bool cxl_volatile_buffer = false;
 };
 
 struct RunResult {

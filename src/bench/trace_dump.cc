@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <fstream>
 
+#include "src/pmsim/media_model.h"
 #include "src/trace/trace.h"
 
 namespace cclbt::bench {
@@ -70,6 +71,7 @@ std::string WriteTraceDump(kvindex::Runtime& runtime, const std::string& label,
   out << "config pool_bytes " << dc.pool_bytes << "\n";
   out << "config num_sockets " << dc.num_sockets << "\n";
   out << "config dimms_per_socket " << dc.dimms_per_socket << "\n";
+  out << "config backend " << pmsim::MediaBackendName(dc.backend) << "\n";
   out << "config xpline_bytes " << dc.xpline_bytes << "\n";
   out << "config elapsed_virtual_ms " << elapsed_virtual_ms << "\n";
 
@@ -150,17 +152,22 @@ bool AppendPmCheckSection(const std::string& path, const pmsim::PmCheckReport& r
   if (!out) {
     return false;
   }
-  out << "pmcheck 1\n";
+  // Version 2 adds the per-class informational column (backend-downgraded
+  // severities, DESIGN.md §14) and the pmcheckinfo diagnostic keyword;
+  // version-1 readers skip the unknown keyword and extra column.
+  out << "pmcheck 2\n";
   out << "pmcheckstat fence_epochs " << report.fence_epochs << "\n";
   out << "pmcheckstat lines_tracked " << report.lines_tracked << "\n";
   out << "pmcheckstat diagnostics_dropped " << report.diagnostics_dropped << "\n";
   for (int c = 0; c < pmsim::kNumPmCheckClasses; c++) {
     out << "pmcheckclass " << pmsim::PmCheckClassName(static_cast<pmsim::PmCheckClass>(c))
         << " " << report.counts[static_cast<size_t>(c)] << " "
-        << report.suppressed[static_cast<size_t>(c)] << "\n";
+        << report.suppressed[static_cast<size_t>(c)] << " "
+        << report.info[static_cast<size_t>(c)] << "\n";
   }
   for (const pmsim::PmCheckDiagnostic& d : report.diagnostics) {
-    out << "pmcheckdiag " << pmsim::PmCheckClassName(d.cls) << " " << d.line << " "
+    out << (d.info ? "pmcheckinfo " : "pmcheckdiag ")
+        << pmsim::PmCheckClassName(d.cls) << " " << d.line << " "
         << d.xpline << " " << d.dimm << " " << trace::ComponentName(d.comp) << " "
         << d.worker << " " << d.fence_epoch << " " << d.detail << "\n";
     for (const pmsim::PmCheckEvent& ev : d.recent) {

@@ -23,6 +23,8 @@
 #include <string>
 #include <vector>
 
+#include "src/pmsim/config.h"
+
 namespace cclbt::crashtest {
 
 // One scheduled crash point: fire at the `fence_target`-th fence (1-based)
@@ -66,6 +68,14 @@ struct MatrixConfig {
   size_t pool_bytes = 32ULL << 20;  // small pool keeps per-point Crash() cheap
   int recovery_threads = 1;
   int max_diagnostics = 8;
+  // Persistence-domain backend of every per-point Runtime (DESIGN.md §14).
+  // kAuto resolves to ADR unless CCL_BACKEND overrides; kEadr shrinks the
+  // crash window to nothing (acked stores are durable at the cacheline),
+  // kCxlMem widens it to a media page.
+  pmsim::MediaBackend backend = pmsim::MediaBackend::kAuto;
+  // CXL geometry for backend == kCxlMem (0 = DeviceConfig defaults).
+  size_t media_unit_bytes = 0;
+  bool cxl_volatile_buffer = false;
 };
 
 // Fence-count window [first_fence, last_fence] (1-based, inclusive) of one

@@ -59,6 +59,9 @@ class Runtime {
   }
 
   pmsim::PmDevice& device() { return device_; }
+  // Resolved persistence-domain backend of the device (DESIGN.md §14); the
+  // options' kAuto has been resolved by device construction.
+  pmsim::MediaBackend media_backend() const { return device_.config().backend; }
   pmem::PmPool& pool() { return *pool_; }
   pmem::ValueStore& values() { return *values_; }
   OrdoClock& ordo() { return ordo_; }

@@ -365,6 +365,9 @@ std::string SerializeHeader(const PmMetricsHeader& header) {
   AppendKey(out, "label");
   AppendString(out, header.label);
   out += ',';
+  AppendKey(out, "backend");
+  AppendString(out, header.backend);
+  out += ',';
   AppendU64Field(out, "epoch_ns", header.epoch_ns);
   out += ',';
   AppendU64Field(out, "threads", header.threads);
@@ -489,6 +492,7 @@ bool ReadPmMetricsFile(const std::string& path, PmMetricsFile* out, std::string*
         return false;
       }
       out->header.label = GetString(v, "label");
+      out->header.backend = GetString(v, "backend");
       out->header.epoch_ns = GetU64(v, "epoch_ns");
       out->header.threads = GetU64(v, "threads");
       out->header.ops = GetU64(v, "ops");

@@ -39,6 +39,9 @@ inline constexpr int kPmMetricsVersion = 1;
 
 struct PmMetricsHeader {
   std::string label;
+  // Persistence-domain backend slug of the run's device ("adr" / "eadr" /
+  // "cxl"; empty in dumps from writers that predate backends).
+  std::string backend;
   uint64_t epoch_ns = 0;
   uint64_t threads = 0;
   uint64_t ops = 0;

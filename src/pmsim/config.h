@@ -21,6 +21,29 @@ inline constexpr size_t kCachelineBytes = 64;
 inline constexpr size_t kXplineBytes = 256;
 inline constexpr size_t kLinesPerXpline = kXplineBytes / kCachelineBytes;  // 4
 
+// Persistence-domain backend (DESIGN.md §14). The backend owns everything
+// media-specific: combining-buffer granularity, the persistence boundary
+// (what a crash can lose), and the per-backend pmcheck rule table.
+//   kAdrOptane  ADR Optane DCPMM: explicit clwb+sfence, power-protected
+//               XPBuffer, 256 B media unit. The default and the only backend
+//               the paper's figures use.
+//   kEadr       extended ADR: the CPU cache is inside the persistence
+//               domain, so flushes are free and there is no unfenced-pending
+//               crash window; dirty lines reach the XPBuffer via a modeled
+//               random cache-eviction stream (paper §5.5).
+//   kCxlMem     CXL memory-semantic device: page-granular write combining
+//               (xpline_bytes up to 4 KB); optionally a volatile internal
+//               buffer, giving a page-sized crash window.
+//   kAuto       resolve at device construction: the legacy `eadr` flag maps
+//               to kEadr, else the CCL_BACKEND environment selector
+//               (adr | eadr | cxl), else kAdrOptane.
+enum class MediaBackend : uint8_t {
+  kAuto = 0,
+  kAdrOptane = 1,
+  kEadr = 2,
+  kCxlMem = 3,
+};
+
 struct CostParams {
   // Latency of a PM read that misses the XPBuffer (media access),
   // uncontended.
@@ -61,11 +84,23 @@ struct DeviceConfig {
   size_t xpline_bytes = kXplineBytes;
   // Address interleaving granularity across the DIMMs of one socket.
   size_t interleave_bytes = 4096;
-  // eADR mode: flushes are free for persistence, but dirty lines reach the
-  // XPBuffer via a modeled CPU-cache eviction stream with randomized order
-  // (reproducing the paper's §5.5 observation that implicit evictions destroy
-  // XPLine locality).
+  // Persistence-domain backend; kAuto resolves at device construction (see
+  // MediaBackend above). After construction PmDevice::config().backend is
+  // always a concrete backend, and `eadr` below mirrors it.
+  MediaBackend backend = MediaBackend::kAuto;
+  // Legacy eADR switch, kept for existing configs: equivalent to
+  // backend = kEadr when `backend` is kAuto. In eADR, flushes are free for
+  // persistence, but dirty lines reach the XPBuffer via a modeled CPU-cache
+  // eviction stream with randomized order (reproducing the paper's §5.5
+  // observation that implicit evictions destroy XPLine locality).
   bool eadr = false;
+  // kCxlMem only: model the device-internal page buffer as volatile — fence
+  // commits stage line contents in the buffer and they only reach the
+  // persistence boundary when the containing media unit is evicted (or at a
+  // clean power-down), so a crash loses up to the buffered pages. Off by
+  // default: a power-protected buffer behaves exactly like the ADR commit
+  // path at page granularity.
+  bool cxl_volatile_buffer = false;
   // Number of cachelines the modeled CPU cache holds before random eviction
   // (eADR mode only).
   size_t eadr_cache_lines = 32768;  // 2 MB
@@ -79,8 +114,10 @@ struct DeviceConfig {
   // Enable pmcheck, the persistency-ordering checker (DESIGN.md §11). The
   // CCL_PMCHECK environment variable overrides this at device construction
   // ("1" forces on, "0" forces off). Requires the shadow image, so
-  // crash_tracking is forced on; ignored in eADR mode (no explicit
-  // flush/fence discipline to check). Diagnostics never touch virtual time.
+  // crash_tracking is forced on. Diagnostic severity is backend-dependent
+  // (MediaModel::check_action, DESIGN.md §14): e.g. a redundant flush is a
+  // real violation on ADR but informational on eADR, where flushes are free.
+  // Diagnostics never touch virtual time.
   bool pmcheck = false;
   CostParams cost;
 

@@ -7,6 +7,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "src/common/rng.h"
+#include "src/pmsim/media_model.h"
 #include "src/pmsim/pmcheck.h"
 #include "src/trace/event.h"
 #include "src/trace/trace.h"
@@ -95,15 +97,16 @@ PmDevice::PmDevice(const DeviceConfig& config)
     : config_(config),
       dimm_busy_until_ns_(static_cast<size_t>(config.total_dimms())) {
   assert(config_.pool_bytes % (config_.socket_region_bytes()) == 0);
+  // Backend resolution comes first: the CCL_BACKEND=cxl selector may change
+  // the media-unit geometry the shift caches below derive from.
+  ResolveMediaBackend(config_);
   // pmcheck enablement resolves before the mappings: the checker needs the
   // shadow image, so it forces crash_tracking on. CCL_PMCHECK overrides the
   // config flag in either direction ("0" turns a configured checker off for
-  // A/B runs). eADR has no explicit flush/fence discipline to check.
+  // A/B runs). Severity per class is the backend's call (the MediaModel rule
+  // table), not an on/off switch here.
   if (const char* env = std::getenv("CCL_PMCHECK"); env != nullptr && env[0] != '\0') {
     config_.pmcheck = env[0] == '1';
-  }
-  if (config_.eadr) {
-    config_.pmcheck = false;
   }
   if (config_.pmcheck) {
     config_.crash_tracking = true;
@@ -139,7 +142,9 @@ PmDevice::PmDevice(const DeviceConfig& config)
       unit_writes_[i].store(0, std::memory_order_relaxed);
     }
   }
-  eadr_cache_.reserve(config_.eadr_cache_lines + 1);
+  media_ = MakeMediaModel(*this, config_);
+  explicit_persist_ = media_->explicit_persist();
+  durable_at_commit_ = media_->durable_at_commit();
   trace::SetRingFactory(&RingFactoryImpl);
   if (config_.pmcheck) {
     pmcheck_ = std::make_unique<PmCheck>(*this);
@@ -182,14 +187,20 @@ void PmDevice::FlushLine(ThreadContext& ctx, const void* addr) {
   ctx.stats_shard().AddLineFlush();
   uintptr_t line = LineOf(OffsetOf(addr));
   trace::Emit(trace::EventType::kFlush, line);
-  if (config_.eadr) {
-    // No explicit flush cost: the store is already persistent. The dirty line
-    // will reach the XPBuffer via the modeled cache-eviction stream.
+  if (!explicit_persist_) {
+    // Flush-free domain (eADR): no explicit flush cost — the store is already
+    // persistent. The checker hook runs before the shadow sync so it can see
+    // whether the flush changed anything durable.
+    if (pmcheck_ != nullptr) {
+      pmcheck_->OnFlushFree(ctx, line);
+    }
     if (shadow_.data != nullptr) {
       std::memcpy(shadow_.get() + line, pool_.get() + line, kCachelineBytes);
     }
     ctx.stats_shard().AddCommittedLines(trace::CurrentComponent(), 1);
-    EadrCacheInsert(ctx, line);
+    // The dirty line reaches the XPBuffer via the backend's modeled
+    // cache-eviction stream.
+    media_->AbsorbFlushFree(ctx, line);
     return;
   }
   ctx.AdvanceCpu(config_.cost.cacheline_flush_ns);
@@ -209,9 +220,12 @@ void PmDevice::Fence(ThreadContext& ctx) {
     // Crash()/CrashTorn() to drop or tear.
     injector_->OnFence();
   }
-  if (config_.eadr) {
+  if (!explicit_persist_) {
+    if (pmcheck_ != nullptr) {
+      pmcheck_->OnFenceFree(ctx);
+    }
     trace::Emit(trace::EventType::kFence, 0);
-    return;  // No ordering cost modeled in eADR mode.
+    return;  // No ordering cost modeled in a flush-free domain.
   }
   ctx.AdvanceCpu(config_.cost.fence_ns);
   // The pmcheck gate is read once per fence (same pattern as the trace gate
@@ -271,8 +285,14 @@ void PmDevice::PersistRange(ThreadContext& ctx, const void* addr, size_t len) {
 
 template <bool kTraced>
 void PmDevice::CommitLine(ThreadContext& ctx, uintptr_t line_offset, trace::Component comp) {
-  if (shadow_.data != nullptr) {
-    std::memcpy(shadow_.get() + line_offset, pool_.get() + line_offset, kCachelineBytes);
+  if (durable_at_commit_) {
+    if (shadow_.data != nullptr) {
+      std::memcpy(shadow_.get() + line_offset, pool_.get() + line_offset, kCachelineBytes);
+    }
+  } else {
+    // Volatile device buffer (CXL): the fence hands the line to the device,
+    // but durability waits for the containing media unit's eviction.
+    media_->StageCommittedLine(line_offset);
   }
   PushThroughXpBuffer<kTraced>(ctx, line_offset, comp);
 }
@@ -315,6 +335,10 @@ void PmDevice::PushThroughXpBuffer(ThreadContext& ctx, uintptr_t line_offset,
     }
   }
   if (result.evicted) {
+    if (!durable_at_commit_) {
+      // Eviction is the persistence boundary on a volatile-buffer backend.
+      media_->CommitStagedUnit(result.evicted_xpline);
+    }
     // The media write is charged to the component whose scope buffered the
     // evicted XPLine, which may differ from the committing scope `comp`.
     ctx.stats_shard().AddMediaWrite(result.evicted_tag, result.evicted_comp, unit);
@@ -349,6 +373,9 @@ void PmDevice::PushThroughXpBufferAccountingOnly(uintptr_t line_offset) {
       UnitOf(line_offset), LineInUnit(line_offset), TagOf(line_offset),
       trace::CurrentComponent());
   if (result.evicted) {
+    if (!durable_at_commit_) {
+      media_->CommitStagedUnit(result.evicted_xpline);
+    }
     stats_.AddMediaWrite(result.evicted_tag, result.evicted_comp, unit);
     NoteMediaWrite(result.evicted_xpline);
     if (result.rmw) {
@@ -406,45 +433,18 @@ void PmDevice::ReadPm(ThreadContext& ctx, const void* addr, size_t len) {
   }
 }
 
-void PmDevice::EadrCacheInsert(ThreadContext& ctx, uintptr_t line_offset) {
-  std::lock_guard<std::mutex> guard(eadr_mu_);
-  eadr_cache_.push_back(line_offset);
-  while (eadr_cache_.size() > config_.eadr_cache_lines) {
-    // Implicit eviction picks an arbitrary dirty line: locality a program had
-    // when writing is gone by eviction time (paper §5.5).
-    size_t victim = eadr_rng_.NextBounded(eadr_cache_.size());
-    uintptr_t line = eadr_cache_[victim];
-    eadr_cache_[victim] = eadr_cache_.back();
-    eadr_cache_.pop_back();
-    // Attribution imprecision by design: the implicit eviction is charged to
-    // whatever scope happens to be active on the evicting thread, mirroring
-    // how eADR divorces media traffic from the code that wrote it (§5.5).
-    PushLine(ctx, line, trace::CurrentComponent());
-  }
-}
-
 void PmDevice::DrainBuffers() {
+  // Backend residuals first: the eADR modeled CPU cache flushes through the
+  // XPBuffers, and a volatile CXL buffer persists its staged lines (clean
+  // power-down reaches the persistence boundary on every backend).
+  media_->DrainResidual();
+  media_->CommitAllStaged();
   if (pmcheck_ != nullptr) {
     // Pool close from the checker's point of view: anything still dirty now
-    // was never made durable (class 4). Runs before the drains below, which
-    // only move already-durable XPLines to media.
+    // was never made durable (class 4). Runs after the backend residuals
+    // above (which settle durability) and before the XPBuffer drains below
+    // (which only move already-durable XPLines to media).
     pmcheck_->OnClose();
-  }
-  // Flush the modeled CPU cache first (eADR), then the XPBuffers.
-  if (config_.eadr) {
-    std::lock_guard<std::mutex> guard(eadr_mu_);
-    ThreadContext* ctx = ThreadContext::Current();
-    for (uintptr_t line : eadr_cache_) {
-      if (ctx != nullptr) {
-        PushLine(*ctx, line, trace::CurrentComponent());
-      } else {
-        // No calling context (e.g. all workers already torn down): the dirty
-        // lines still reach media — account for them cost-free rather than
-        // silently dropping their media writes.
-        PushThroughXpBufferAccountingOnly(line);
-      }
-    }
-    eadr_cache_.clear();
   }
   // End-of-run accounting uses the configured media unit: draining a 4 KB
   // CXL-flash page writes 4 KB, not the 256 B XPLine default.
@@ -466,9 +466,15 @@ void PmDevice::Crash() {
   if (pmcheck_ != nullptr) {
     // An injector-scheduled crash is the harness doing its job — in-flight
     // state is expected there, so the class-4 scan only runs for crashes
-    // nobody scheduled.
-    pmcheck_->OnCrash(injector_ != nullptr && injector_->fired());
+    // nobody scheduled. It is likewise skipped when the backend's volatile
+    // buffer sits below fence commit: committed-but-staged lines differ from
+    // the shadow by design, not by an ordering bug.
+    pmcheck_->OnCrash((injector_ != nullptr && injector_->fired()) || !durable_at_commit_);
   }
+  // Backend-owned crash window: a volatile CXL buffer loses its staged
+  // (acked!) lines; eADR's modeled cache just goes cold (content already
+  // durable, so it reports 0).
+  uint64_t volatile_lines_lost = media_->DropVolatileOnCrash();
   uint64_t lines_dropped = 0;
   {
     std::lock_guard<std::mutex> guard(contexts_mu_);
@@ -477,7 +483,7 @@ void PmDevice::Crash() {
       ctx->ClearPending();
     }
   }
-  stats_.AddCrash(lines_dropped, /*torn_lines_applied=*/0);
+  stats_.AddCrash(lines_dropped + volatile_lines_lost, /*torn_lines_applied=*/0);
   std::memcpy(pool_.get(), shadow_.get(), config_.pool_bytes);
   // Fresh boot: the XPBuffer is power-protected, so its content already lives
   // in the shadow image; the model itself restarts cold.
@@ -489,8 +495,9 @@ void PmDevice::Crash() {
 void PmDevice::CrashTorn(uint64_t seed) {
   assert(shadow_.data != nullptr && "CrashTorn() requires crash_tracking");
   if (pmcheck_ != nullptr) {
-    pmcheck_->OnCrash(injector_ != nullptr && injector_->fired());
+    pmcheck_->OnCrash((injector_ != nullptr && injector_->fired()) || !durable_at_commit_);
   }
+  uint64_t volatile_lines_lost = media_->DropVolatileOnCrash();
   Rng rng(seed);
   uint64_t lines_dropped = 0;
   uint64_t torn_lines_applied = 0;
@@ -508,7 +515,7 @@ void PmDevice::CrashTorn(uint64_t seed) {
       ctx->ClearPending();
     }
   }
-  stats_.AddCrash(lines_dropped, torn_lines_applied);
+  stats_.AddCrash(lines_dropped + volatile_lines_lost, torn_lines_applied);
   std::memcpy(pool_.get(), shadow_.get(), config_.pool_bytes);
   for (auto& xpbuffer : xpbuffers_) {
     xpbuffer->Drain([](bool, StreamTag, trace::Component, uint64_t) {});

@@ -6,13 +6,21 @@
 // socket's DIMMs at `interleave_bytes` granularity (mirroring how the kernel
 // interleaves an App Direct namespace across DIMMs).
 //
-// Persistence model (ADR): regular stores hit the working image only. A
-// cacheline becomes persistent when it has been flushed (FlushLine) *and* a
-// subsequent fence executed on the same thread; at that point the line is
-// copied into the shadow persistent image and pushed through the XPBuffer
-// model, which generates media traffic on eviction. Crash() restores the
-// working image from the shadow image, so unflushed/unfenced stores vanish
-// exactly as they would on real ADR hardware.
+// Persistence model (ADR, the default backend): regular stores hit the
+// working image only. A cacheline becomes persistent when it has been
+// flushed (FlushLine) *and* a subsequent fence executed on the same thread;
+// at that point the line is copied into the shadow persistent image and
+// pushed through the XPBuffer model, which generates media traffic on
+// eviction. Crash() restores the working image from the shadow image, so
+// unflushed/unfenced stores vanish exactly as they would on real ADR
+// hardware.
+//
+// Everything backend-specific — the eADR flush-free domain with its modeled
+// CPU cache, the CXL page-buffer staging, the per-backend pmcheck rule
+// table — lives behind the MediaModel owned by the device (media_model.h,
+// DESIGN.md §14). The device caches the model's two hot-path predicates as
+// plain bools, so the default ADR fence/commit loop is exactly the
+// pre-refactor code path.
 #ifndef SRC_PMSIM_DEVICE_H_
 #define SRC_PMSIM_DEVICE_H_
 
@@ -23,7 +31,6 @@
 #include <mutex>
 #include <vector>
 
-#include "src/common/rng.h"
 #include "src/pmsim/config.h"
 #include "src/pmsim/crash_injector.h"
 #include "src/pmsim/stats.h"
@@ -32,6 +39,7 @@
 
 namespace cclbt::pmsim {
 
+class MediaModel;
 class PmCheck;
 
 class PmDevice {
@@ -126,6 +134,10 @@ class PmDevice {
   // path reads it once per fence (same pattern as the crash injector).
   PmCheck* pmcheck() const { return pmcheck_.get(); }
 
+  // The persistence-domain backend (DESIGN.md §14), never null. The resolved
+  // backend kind is also visible as config().backend.
+  MediaModel& media() const { return *media_; }
+
   // Largest virtual completion time across DIMM write servers; a run's
   // modeled elapsed time is max(worker clocks, this).
   uint64_t MaxDimmBusyNs() const;
@@ -163,7 +175,8 @@ class PmDevice {
 
  private:
   friend class ThreadContext;
-  friend class PmCheck;  // reads pool_/shadow_/config_ at construction
+  friend class PmCheck;     // reads pool_/shadow_/config_ at construction
+  friend class MediaModel;  // backend hooks drive PushLine / the images
 
   // Commits ctx's whole pending set: pmcheck hook (when kChecked) followed by
   // the per-line CommitLine loop. Templated on both runtime gates so Fence
@@ -206,9 +219,6 @@ class PmDevice {
     clock = finish;
     return finish - now;
   }
-  // eADR: insert the line into the modeled CPU cache, randomly evicting.
-  void EadrCacheInsert(ThreadContext& ctx, uintptr_t line_offset);
-
   // Bumps the heatmap counter for `unit` if the heatmap is on. The fetch_add
   // only ever runs behind an explicit config opt-in.
   void NoteMediaWrite(uint64_t unit) {
@@ -269,11 +279,14 @@ class PmDevice {
   mutable std::mutex contexts_mu_;
   std::vector<ThreadContext*> contexts_;
 
-  // eADR modeled CPU cache: set of dirty line offsets awaiting implicit
-  // eviction, evicted in random order once capacity is reached.
-  std::mutex eadr_mu_;
-  std::vector<uintptr_t> eadr_cache_;
-  Rng eadr_rng_{0xeadcac4eULL};
+  // The persistence-domain backend (media_model.h); constructed before the
+  // checker so pmcheck can copy its rule table.
+  std::unique_ptr<MediaModel> media_;
+  // Hot-path cache of the model's predicates: FlushLine/Fence test
+  // explicit_persist_ and the commit loop tests durable_at_commit_ as plain
+  // bools, so the default ADR path never takes a virtual call.
+  bool explicit_persist_ = true;
+  bool durable_at_commit_ = true;
 };
 
 // Free-function helpers used by index code; they resolve the calling

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "src/pmsim/device.h"
+#include "src/pmsim/media_model.h"
 #include "src/pmsim/thread_context.h"
 #include "src/trace/trace.h"
 
@@ -53,6 +54,12 @@ PmCheck::PmCheck(PmDevice& device)
       shadow_(device.shadow_.get()),
       pool_bytes_(device.config_.pool_bytes),
       xpline_bytes_(device.config_.xpline_bytes) {
+  // The device constructs its MediaModel before the checker, so the backend
+  // rule table is final here.
+  for (int c = 0; c < kNumPmCheckClasses; c++) {
+    actions_[static_cast<size_t>(c)] =
+        device.media().check_action(static_cast<PmCheckClass>(c));
+  }
   lines_.reserve(1 << 14);
   diagnostics_.reserve(64);
 }
@@ -82,16 +89,30 @@ void PmCheck::AppendEventLocked(PmCheckEvent::Kind kind, trace::Component comp, 
 
 void PmCheck::DiagLocked(PmCheckClass cls, uint64_t line, trace::Component comp, uint16_t worker,
                          const char* detail) {
+  const PmCheckAction action = actions_[static_cast<size_t>(cls)];
+  if (action == PmCheckAction::kOff) {
+    return;
+  }
   if (PmCheckExpect::ActiveFor(cls)) {
     suppressed_[static_cast<int>(cls)]++;
     return;
   }
-  counts_[static_cast<int>(cls)]++;
-  if (diagnostics_.size() >= kMaxDiagnostics) {
-    diagnostics_dropped_++;
-    return;
+  const bool info = action == PmCheckAction::kInfo;
+  if (info) {
+    info_counts_[static_cast<int>(cls)]++;
+    if (info_materialized_ >= kMaxInfoDiagnostics) {
+      return;  // counted above; info overflow is not "dropped" data
+    }
+    info_materialized_++;
+  } else {
+    counts_[static_cast<int>(cls)]++;
+    if (diagnostics_.size() - info_materialized_ >= kMaxDiagnostics) {
+      diagnostics_dropped_++;
+      return;
+    }
   }
   PmCheckDiagnostic d;
+  d.info = info;
   d.cls = cls;
   d.line = line;
   d.xpline = line / xpline_bytes_;
@@ -146,6 +167,37 @@ void PmCheck::OnUselessFence(const ThreadContext& ctx) {
   fence_epochs_++;
   AppendEventLocked(PmCheckEvent::Kind::kFence, comp, worker, 0);
   DiagLocked(PmCheckClass::kUselessFence, 0, comp, worker, "fence_with_no_pending_lines");
+}
+
+void PmCheck::OnFlushFree(const ThreadContext& ctx, uintptr_t line) {
+  const trace::Component comp = trace::CurrentComponent();
+  const auto worker = static_cast<uint16_t>(ctx.worker_id());
+  std::lock_guard<std::mutex> guard(mu_);
+  AppendEventLocked(PmCheckEvent::Kind::kFlush, comp, worker, line);
+  // Called before the device syncs the shadow copy, so a clean line here
+  // means the flush persists nothing on *any* backend.
+  if (std::memcmp(pool_ + line, shadow_ + line, kCachelineBytes) == 0) {
+    DiagLocked(PmCheckClass::kRedundantFlush, line, comp, worker, "flush_of_clean_line");
+  }
+  // The line becomes durable at this flush (flush-free domain): keep the
+  // record for class-4 attribution but never in a pending state.
+  LineRecord& rec = lines_[line];
+  rec.flush_hash = HashLine(pool_ + line);
+  rec.epoch = fence_epochs_;
+  rec.comp = comp;
+  rec.worker = worker;
+  rec.pending = false;
+  rec.owner = nullptr;
+  rec.close_reported = false;
+}
+
+void PmCheck::OnFenceFree(const ThreadContext& ctx) {
+  const trace::Component comp = trace::CurrentComponent();
+  const auto worker = static_cast<uint16_t>(ctx.worker_id());
+  std::lock_guard<std::mutex> guard(mu_);
+  fence_epochs_++;
+  AppendEventLocked(PmCheckEvent::Kind::kFence, comp, worker, 0);
+  DiagLocked(PmCheckClass::kUselessFence, 0, comp, worker, "fence_in_flush_free_domain");
 }
 
 void PmCheck::OnFenceCommit(const ThreadContext& ctx, const std::vector<uintptr_t>& pending,
@@ -238,6 +290,7 @@ PmCheckReport PmCheck::Snapshot() const {
   report.enabled = true;
   report.counts = counts_;
   report.suppressed = suppressed_;
+  report.info = info_counts_;
   report.fence_epochs = fence_epochs_;
   report.lines_tracked = lines_.size();
   report.diagnostics_dropped = diagnostics_dropped_;

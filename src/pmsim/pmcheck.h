@@ -43,8 +43,13 @@
 // FlushLine/ReadPm, the same pattern as the crash injector. The checker never
 // touches virtual time or the stats counters, so enabling it leaves every
 // virtual-time metric bit-identical (the determinism contract, DESIGN.md §10).
-// eADR mode is unsupported (no explicit flush/fence discipline to check) and
-// leaves the checker off.
+//
+// Severity is backend-dependent: the device's MediaModel supplies a per-class
+// PmCheckAction rule table (DESIGN.md §14). On eADR, redundant_flush and
+// useless_fence downgrade to informational (flushes/fences cost nothing for
+// persistence there, but the counts tell you what an ADR-tuned workload could
+// shed), and the pending-window classes (dirty_at_fence, read_before_durable)
+// are off — there is no flush→fence window for them to fire in.
 //
 // Intentional violations (e.g. a deliberately redundant defensive flush) are
 // whitelisted in-place with a scoped PmCheckExpect annotation, never by
@@ -80,6 +85,17 @@ inline constexpr int kNumPmCheckClasses = static_cast<int>(PmCheckClass::kCount)
 // Stable slug used in .pmtrace dumps and pmctl check output.
 const char* PmCheckClassName(PmCheckClass cls);
 
+// Severity of one diagnostic class on one persistence backend. The table is
+// supplied by the device's MediaModel (DESIGN.md §14): the same code pattern
+// can be a bug on one backend and merely wasteful (or meaningless) on
+// another — e.g. a redundant flush costs CPU + media traffic on ADR but
+// nothing on eADR, and a pending-line race cannot exist where there is no
+// pending window.
+//   kReport  counted + materialized as a violation; gates `pmctl check`
+//   kInfo    counted separately as informational; never gates an exit status
+//   kOff     the class cannot occur / carries no signal on this backend
+enum class PmCheckAction : uint8_t { kReport = 0, kInfo = 1, kOff = 2 };
+
 // One entry of the recent-event ring attached to every diagnostic: what the
 // device was doing just before the violation, for attribution.
 struct PmCheckEvent {
@@ -109,6 +125,8 @@ struct PmCheckDiagnostic {
   uint64_t fence_epoch = 0;
   // Static single-token cause string (no spaces; dump-format safe).
   const char* detail = "";
+  // True when the backend's rule table downgraded this class to kInfo.
+  bool info = false;
   // Up to kRecentEventsPerDiagnostic events preceding the violation,
   // oldest first.
   std::vector<PmCheckEvent> recent;
@@ -118,6 +136,9 @@ struct PmCheckReport {
   bool enabled = false;
   std::array<uint64_t, kNumPmCheckClasses> counts{};
   std::array<uint64_t, kNumPmCheckClasses> suppressed{};
+  // Informational occurrences (classes the backend downgrades to kInfo).
+  // Never part of total(), never gate an exit status.
+  std::array<uint64_t, kNumPmCheckClasses> info{};
   uint64_t fence_epochs = 0;
   uint64_t lines_tracked = 0;
   // Diagnostics beyond the retention cap are counted but not materialized.
@@ -135,6 +156,13 @@ struct PmCheckReport {
   uint64_t total_suppressed() const {
     uint64_t sum = 0;
     for (uint64_t c : suppressed) {
+      sum += c;
+    }
+    return sum;
+  }
+  uint64_t total_info() const {
+    uint64_t sum = 0;
+    for (uint64_t c : info) {
       sum += c;
     }
     return sum;
@@ -173,12 +201,21 @@ class PmCheck {
   PmCheck(const PmCheck&) = delete;
   PmCheck& operator=(const PmCheck&) = delete;
 
-  // --- hooks called by PmDevice (ADR paths only) ---------------------------
+  // --- hooks called by PmDevice (explicit-persist backends) ----------------
   // FlushLine: `newly_pending` is AddPendingLine's return (false == the line
   // was already in this context's pending set).
   void OnFlush(const ThreadContext& ctx, uintptr_t line, bool newly_pending);
   // Fence with an empty pending set (class 2). Bumps the fence epoch.
   void OnUselessFence(const ThreadContext& ctx);
+  // --- hooks for flush-free backends (eADR) --------------------------------
+  // FlushLine in a flush-free domain, called *before* the device syncs the
+  // shadow copy: a flush of a line whose content already equals the durable
+  // image would have been redundant even on ADR (class 1, typically kInfo).
+  void OnFlushFree(const ThreadContext& ctx, uintptr_t line);
+  // Fence in a flush-free domain: every fence is ordering-only there
+  // (class 2, typically kInfo — the count is how many fences the workload
+  // could shed on this backend).
+  void OnFenceFree(const ThreadContext& ctx);
   // Fence about to commit `pending` (class 3 per line); bumps the fence epoch
   // and marks every line Durable.
   void OnFenceCommit(const ThreadContext& ctx, const std::vector<uintptr_t>& pending,
@@ -209,6 +246,9 @@ class PmCheck {
   static constexpr size_t kEventRing = 64;
   static constexpr size_t kRecentEventsPerDiagnostic = 8;
   static constexpr size_t kMaxDiagnostics = 256;
+  // Informational diagnostics materialize into their own (small) budget so a
+  // flood of downgraded findings cannot crowd out real violations.
+  static constexpr size_t kMaxInfoDiagnostics = 16;
 
   static uint64_t HashLine(const std::byte* line);
 
@@ -228,12 +268,19 @@ class PmCheck {
   size_t pool_bytes_;
   size_t xpline_bytes_;
 
+  // Per-class severity, copied from the device's MediaModel rule table at
+  // construction (the model outlives the checker; a copy keeps DiagLocked a
+  // plain array load).
+  std::array<PmCheckAction, kNumPmCheckClasses> actions_{};
+
   mutable std::mutex mu_;
   std::unordered_map<uint64_t, LineRecord> lines_;
   uint64_t fence_epochs_ = 0;
   std::array<uint64_t, kNumPmCheckClasses> counts_{};
   std::array<uint64_t, kNumPmCheckClasses> suppressed_{};
+  std::array<uint64_t, kNumPmCheckClasses> info_counts_{};
   uint64_t diagnostics_dropped_ = 0;
+  size_t info_materialized_ = 0;
   std::vector<PmCheckDiagnostic> diagnostics_;
   std::array<PmCheckEvent, kEventRing> events_{};
   uint64_t events_seen_ = 0;

@@ -138,6 +138,24 @@ TEST(CrashMatrix, ResultIsDeterministicFromSeed) {
   EXPECT_NE(first.digest, other.digest);
 }
 
+// The eADR backend (DESIGN.md §14) has no unfenced-pending crash window:
+// every acked update was made durable at its FlushLine, so the matrix must
+// observe exactly zero lost acked updates across every crash point.
+TEST(CrashMatrix, EadrBackendLosesNoAckedUpdates) {
+  MatrixConfig config;
+  config.index = "cclbtree";
+  config.seed = 11;
+  config.ops = 600;
+  config.key_space = 200;
+  config.nth = 41;
+  config.random_points = 12;
+  config.window_len = 16;
+  config.backend = pmsim::MediaBackend::kEadr;
+  MatrixResult result = RunCrashMatrix(config);
+  ExpectMatrixClean(result, /*min_points=*/20);
+  EXPECT_EQ(result.lost, 0u);
+}
+
 TEST(CrashMatrix, NotRecoverableIndexIsReportedHonestly) {
   MatrixConfig config;
   config.index = "lsmstore";

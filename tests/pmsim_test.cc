@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/common/rng.h"
 #include "src/pmsim/device.h"
 
 namespace cclbt::pmsim {

@@ -12,9 +12,14 @@
 #   5. pmcheck: the full test suite re-run with CCL_PMCHECK=1 so every test
 #      workload doubles as a persistency-ordering check (DESIGN.md §11)
 #   6. crash: quick crash-injection matrix profile (ctest label "crash")
+#   6b. backend-matrix: the full test suite re-run under each non-default
+#      persistence-domain backend (CCL_BACKEND=eadr, then =cxl; DESIGN.md
+#      §14) so every test workload also runs in the flush-free and
+#      page-granular domains
 #   7. determinism: staged benches run twice with pmcheck enabled,
 #      virtual-metric tails diffed (run_benches.sh --determinism; §10 —
-#      diagnostics must not perturb virtual time)
+#      diagnostics must not perturb virtual time); includes the
+#      bench_backend_matrix sweep across all backends
 #   8. metrics-determinism: the metrics registry / epoch-series test binary
 #      re-run on its own so a nondeterministic .pmmetrics series is named
 #      explicitly in the CI log (step 7 additionally diffs the epoch series
@@ -36,7 +41,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-SANITIZE_FILTER="pmsim|trace|gc_scheduling|pmcheck|simd|dram_btree"
+SANITIZE_FILTER="pmsim|trace|gc_scheduling|pmcheck|simd|dram_btree|media_model"
 
 echo "=== lint: lint_pm_api.py self-test + tree ==="
 python3 tools/lint_pm_api.py --self-test
@@ -75,13 +80,23 @@ CCL_PMCHECK=1 ctest --test-dir build --output-on-failure -j"$(nproc)"
 echo "=== crash: injection matrix ==="
 ctest --test-dir build -L crash --output-on-failure
 
+# Backend matrix: the whole suite re-run under each non-default persistence
+# domain. CCL_BACKEND only rebinds devices whose config left backend at
+# kAuto, so tests that pin a backend (or assert resolution defaults and
+# clear the env themselves) keep their meaning.
+echo "=== backend-matrix: ctest with CCL_BACKEND=eadr ==="
+CCL_BACKEND=eadr ctest --test-dir build --output-on-failure -j"$(nproc)"
+echo "=== backend-matrix: ctest with CCL_BACKEND=cxl ==="
+CCL_BACKEND=cxl ctest --test-dir build --output-on-failure -j"$(nproc)"
+
 # Determinism gate: the paper-figure benches must produce bit-identical
 # virtual-metric tails across back-to-back runs — including cclbtree rows
-# with background GC on (DESIGN.md §10). Small scale: the property being
-# checked is exact equality, not the metric values themselves.
-echo "=== determinism: fig03/fig10/fig14 run twice, tails diffed (pmcheck on) ==="
+# with background GC on (DESIGN.md §10) and the backend-matrix sweep across
+# ADR/eADR/CXL (DESIGN.md §14). Small scale: the property being checked is
+# exact equality, not the metric values themselves.
+echo "=== determinism: fig03/fig10/fig14/backend_matrix run twice, tails diffed (pmcheck on) ==="
 CCL_PMCHECK=1 CCL_BENCH_SCALE="${CCL_BENCH_SCALE:-60000}" \
-  ./run_benches.sh --determinism 'fig03|fig10|fig14'
+  ./run_benches.sh --determinism 'fig03|fig10|fig14|backend_matrix'
 
 # Metrics determinism: the registry's own suite (shard-merge conservation,
 # bit-identical epoch series for identical RunConfigs including a

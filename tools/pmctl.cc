@@ -76,6 +76,9 @@ struct CheckDiag {
   int worker = 0;
   uint64_t fence_epoch = 0;
   std::string detail;
+  // Informational diagnostic (backend-downgraded severity; pmcheckinfo
+  // keyword in v2 dumps). Never counts toward the exit status.
+  bool info = false;
   std::vector<CheckEvent> recent;
 };
 
@@ -83,6 +86,7 @@ struct CheckClassRow {
   std::string name;
   uint64_t count = 0;
   uint64_t suppressed = 0;
+  uint64_t info = 0;  // v2 dumps only; 0 for v1
 };
 
 struct Dump {
@@ -197,11 +201,18 @@ bool ParseDump(const std::string& path, Dump& d) {
     } else if (kw == "pmcheckclass") {
       CheckClassRow row;
       ss >> row.name >> row.count >> row.suppressed;
+      uint64_t info = 0;
+      if (ss >> info) {
+        row.info = info;
+      } else {
+        ss.clear();  // v1 dumps have no info column
+      }
       d.pmcheck_classes.push_back(row);
-    } else if (kw == "pmcheckdiag") {
+    } else if (kw == "pmcheckdiag" || kw == "pmcheckinfo") {
       CheckDiag diag;
       ss >> diag.cls >> diag.line >> diag.xpline >> diag.dimm >> diag.comp >> diag.worker >>
           diag.fence_epoch >> diag.detail;
+      diag.info = kw == "pmcheckinfo";
       d.pmcheck_diags.push_back(std::move(diag));
     } else if (kw == "pmcheckev") {
       CheckEvent ev;
@@ -425,27 +436,38 @@ int CmdCheck(const Dump& d) {
   }
   uint64_t total = 0;
   uint64_t suppressed = 0;
+  uint64_t info = 0;
   for (const CheckClassRow& row : d.pmcheck_classes) {
     total += row.count;
     suppressed += row.suppressed;
+    info += row.info;
   }
-  std::printf("run %s: pmcheck %s — %llu violation(s), %llu suppressed\n", d.label.c_str(),
-              total == 0 ? "CLEAN" : "VIOLATIONS", static_cast<unsigned long long>(total),
+  // Informational counts (backend-downgraded classes) are reported but never
+  // gate the exit status.
+  std::printf("run %s: pmcheck %s — %llu violation(s), %llu informational, %llu suppressed\n",
+              d.label.c_str(), total == 0 ? "CLEAN" : "VIOLATIONS",
+              static_cast<unsigned long long>(total), static_cast<unsigned long long>(info),
               static_cast<unsigned long long>(suppressed));
+  auto backend = d.config.find("backend");
+  if (backend != d.config.end()) {
+    std::printf("  %-22s %14s\n", "backend", backend->second.c_str());
+  }
   for (const auto& [name, value] : d.pmcheck_stats) {
     std::printf("  %-22s %14llu\n", name.c_str(), static_cast<unsigned long long>(value));
   }
   std::printf("\n-- violations by class --\n");
   for (const CheckClassRow& row : d.pmcheck_classes) {
-    std::printf("  %-22s %14llu   (%llu suppressed)\n", row.name.c_str(),
+    std::printf("  %-22s %14llu   (%llu info, %llu suppressed)\n", row.name.c_str(),
                 static_cast<unsigned long long>(row.count),
+                static_cast<unsigned long long>(row.info),
                 static_cast<unsigned long long>(row.suppressed));
   }
   if (!d.pmcheck_diags.empty()) {
     std::printf("\n-- diagnostics --\n");
     size_t i = 0;
     for (const CheckDiag& diag : d.pmcheck_diags) {
-      std::printf("[%zu] %s: %s\n", i++, diag.cls.c_str(), diag.detail.c_str());
+      std::printf("[%zu] %s%s: %s\n", i++, diag.cls.c_str(), diag.info ? " (info)" : "",
+                  diag.detail.c_str());
       std::printf("    line 0x%llx (XPLine %llu, DIMM %d), component %s, worker %d, "
                   "fence epoch %llu\n",
                   static_cast<unsigned long long>(diag.line),
