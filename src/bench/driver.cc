@@ -124,6 +124,27 @@ uint64_t WarmKey(const RunConfig& config, uint64_t i) {
 RunResult RunWorkload(kvindex::Runtime& runtime, kvindex::KvIndex& index,
                       const RunConfig& config) {
   assert(config.threads >= 1);
+  // Sequential-only features requested under os_parallel would be dropped on
+  // the floor below (a shared op counter / epoch snapshot would race across
+  // real threads). Fail loudly instead of ignoring the user's config: one
+  // warning per dropped feature, surfaced in RunResult::warnings and on
+  // stderr.
+  std::vector<std::string> warnings;
+  if (config.os_parallel && config.gc_epoch_ops != 0) {
+    warnings.emplace_back(
+        "gc_epoch_ops ignored: driver-paced GC requires sequential "
+        "scheduling (os_parallel=true races the shared op counter)");
+  }
+  if (config.os_parallel && (config.metrics || MetricsDumpRequested()) && config.ops > 0) {
+    warnings.emplace_back(
+        "metrics epoch series not collected: virtual-time epochs require "
+        "sequential scheduling (os_parallel=true); only end-of-run totals "
+        "are reported");
+  }
+  for (const std::string& w : warnings) {
+    std::fprintf(stderr, "driver[%s]: WARNING: %s\n",
+                 config.trace_label.empty() ? "run" : config.trace_label.c_str(), w.c_str());
+  }
   if (config.preset_keys != nullptr) {
     assert(config.preset_keys->size() >= config.warm_keys + config.ops);
   }
@@ -403,6 +424,7 @@ RunResult RunWorkload(kvindex::Runtime& runtime, kvindex::KvIndex& index,
   }
 
   RunResult result;
+  result.warnings = std::move(warnings);
   uint64_t busy_ns = runtime.device().MaxDimmBusyNs();
   uint64_t worker_ns = 0;
   for (const auto& st : states) {

@@ -142,6 +142,11 @@ struct RunResult {
   // refreshes it after an end-of-run DrainBuffers so the unflushed-at-close
   // class is included; RunWorkload alone reports the phases it saw.
   pmsim::PmCheckReport pmcheck;
+  // Configuration the driver could not honor (e.g. gc_epoch_ops or the
+  // metrics epoch series under os_parallel, which are sequential-scheduling
+  // features). Each dropped request produces one entry here and one warning
+  // line on stderr — a set config is never ignored silently.
+  std::vector<std::string> warnings;
 };
 
 // Loads `config.warm_keys` distinct keys (or the preset set), then runs the

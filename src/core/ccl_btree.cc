@@ -96,7 +96,7 @@ CclBTree::CclBTree(kvindex::Runtime& runtime, const TreeOptions& options,
   root->slab_registry_offset = leaf_slab_->registry_offset();
   root->arena_registry_offset = log_arena_->registry_offset();
   pmsim::Persist(root, sizeof(TreeRoot));
-  rt_.pool().SetAppRoot(kAppRootSlot, rt_.pool().ToOffset(root));
+  rt_.pool().SetAppRoot(options_.root_slot, rt_.pool().ToOffset(root));
 
   BufferNode* head_bn = NewBufferNode(head_leaf_, /*sep=*/0, /*recovery_ts=*/0);
   inner_.Insert(0, head_bn);
@@ -110,7 +110,7 @@ bool CclBTree::Recover(kvindex::Runtime& runtime, int recovery_threads) {
   if (lifecycle_ != kvindex::Lifecycle::kAttach || recovered_) {
     return false;
   }
-  uint64_t root_offset = rt_.pool().GetAppRoot(kAppRootSlot);
+  uint64_t root_offset = rt_.pool().GetAppRoot(options_.root_slot);
   if (root_offset == 0) {
     return false;  // the pool was never formatted with a tree
   }
@@ -950,6 +950,11 @@ void CclBTree::SampleGauges(std::vector<std::pair<std::string, uint64_t>>* out) 
   out->emplace_back("splits", splits());
   out->emplace_back("merges", merges());
   out->emplace_back("dram_hits", dram_hits());
+  // Value-store health: allocation growth plus the bytes orphaned by
+  // restarts (Runtime::Reopen region leak) — pmctl top/series watch the
+  // latter grow across repeated crash-recover cycles.
+  out->emplace_back("valuestore_bytes", rt_.values().allocated_bytes());
+  out->emplace_back("valuestore_leaked_bytes", rt_.values().leaked_bytes());
 }
 
 void CclBTree::RunGcOnce() {

@@ -126,14 +126,14 @@ class CclBTree : public kvindex::KvIndex {
   void DumpKeyState(uint64_t key) const;
 
  private:
-  struct TreeRoot {  // persistent root record (pool app-root slot 0)
+  struct TreeRoot {  // persistent root record (pool app-root slot
+                     // TreeOptions::root_slot, default 0)
     uint64_t magic;
     uint64_t head_leaf_offset;
     uint64_t slab_registry_offset;
     uint64_t arena_registry_offset;
   };
   static constexpr uint64_t kTreeMagic = 0xCC1B7123ULL;
-  static constexpr int kAppRootSlot = 0;
 
   // --- write path -------------------------------------------------------------
   void UpsertInternal(uint64_t key, uint64_t value);

@@ -56,6 +56,11 @@ struct TreeOptions {
   // Maximum worker ids (threads) the per-thread WAL array supports. The top
   // `gc_threads` ids are reserved for GC workers.
   int max_workers = 136;
+  // Pool app-root slot holding this tree's persistent root record. Multiple
+  // trees can coexist in one pool (the sharded service gives each shard its
+  // own tree) as long as each uses a distinct slot; slot 1 is conventionally
+  // CCL-Hash's (pmem::kNumAppRoots slots total).
+  int root_slot = 0;
 };
 
 }  // namespace cclbt::core

@@ -53,8 +53,12 @@ class Runtime {
     // The value store's volatile region cursors restart; blobs referenced by
     // surviving indirection handles stay readable through pool offsets, at
     // the cost of leaking the unused remainder of pre-crash regions (bounded
-    // by one region per socket per restart).
-    values_ = std::make_unique<pmem::ValueStore>(*pool_);
+    // by one region per socket per restart). The leak is counted: the dying
+    // store's unused reservation carries into the new store's leaked_bytes()
+    // so repeated crash-recover cycles show monotone growth in the
+    // value-store gauges (pmctl top/series) instead of vanishing silently.
+    uint64_t leaked = values_->leaked_bytes() + values_->unused_reserved_bytes();
+    values_ = std::make_unique<pmem::ValueStore>(*pool_, leaked);
     return true;
   }
 
@@ -67,11 +71,22 @@ class Runtime {
   OrdoClock& ordo() { return ordo_; }
   const RuntimeOptions& options() const { return options_; }
 
-  // Socket for a worker index: fill socket 0's cores first, then socket 1,
-  // mirroring the paper's pthread_setaffinity_np pinning on a 2x48-way box.
-  int SocketForWorker(int worker, int threads_per_socket = 48) const {
-    int socket = worker / threads_per_socket;
-    return socket % device_.config().num_sockets;
+  // Socket for a worker index. With an explicit threads_per_socket (or
+  // DeviceConfig::cores_per_socket), fill socket 0's cores first, then
+  // socket 1 — mirroring the paper's pthread_setaffinity_np pinning on a
+  // 2x48-way box. When neither is given (0), place workers round-robin
+  // across sockets so small-worker-count runs still exercise the configured
+  // topology instead of piling every worker onto socket 0 behind a 48-core
+  // fill threshold they never cross.
+  int SocketForWorker(int worker, int threads_per_socket = 0) const {
+    int num_sockets = device_.config().num_sockets;
+    if (threads_per_socket <= 0) {
+      threads_per_socket = device_.config().cores_per_socket;
+    }
+    if (threads_per_socket <= 0) {
+      return worker % num_sockets;
+    }
+    return (worker / threads_per_socket) % num_sockets;
   }
 
  private:

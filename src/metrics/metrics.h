@@ -46,7 +46,12 @@ namespace cclbt::metrics {
   C(kBufferFlushEntries, "buffer_flush_entries") /* KVs per flush batch */     \
   C(kWalAppendBytes, "wal_append_bytes")     /* log growth */                  \
   C(kWalReleaseBytes, "wal_release_bytes")   /* log reclaimed by GC */         \
-  C(kGcRounds, "gc_rounds")                  /* GC rounds completed */
+  C(kGcRounds, "gc_rounds")                  /* GC rounds completed */         \
+  C(kServiceAdmits, "service_admits")        /* requests admitted into a      \
+                                                shard queue (src/service) */  \
+  C(kServiceSheds, "service_sheds")          /* requests rejected by          \
+                                                admission control */          \
+  C(kServiceBatches, "service_batches")      /* group-commit batches executed */
 
 enum class Counter : uint8_t {
 #define CCLBT_METRICS_ENUM(name, wire) name,

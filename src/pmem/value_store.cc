@@ -7,10 +7,22 @@
 
 namespace cclbt::pmem {
 
-ValueStore::ValueStore(PmPool& pool) : pool_(&pool) {
+ValueStore::ValueStore(PmPool& pool, uint64_t carried_leaked_bytes)
+    : pool_(&pool), leaked_bytes_(carried_leaked_bytes) {
   int sockets = pool.device().config().num_sockets;
   region_cursor_.assign(static_cast<size_t>(sockets), nullptr);
   region_end_.assign(static_cast<size_t>(sockets), nullptr);
+}
+
+uint64_t ValueStore::unused_reserved_bytes() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  uint64_t unused = 0;
+  for (size_t s = 0; s < region_cursor_.size(); s++) {
+    if (region_cursor_[s] != nullptr) {
+      unused += static_cast<uint64_t>(region_end_[s] - region_cursor_[s]);
+    }
+  }
+  return unused;
 }
 
 uint64_t ValueStore::Append(std::span<const std::byte> data, int socket) {

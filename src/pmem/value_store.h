@@ -23,7 +23,11 @@ inline bool IsIndirect(uint64_t word) { return (word & kIndirectBit) != 0; }
 
 class ValueStore {
  public:
-  explicit ValueStore(PmPool& pool);
+  // `carried_leaked_bytes` accumulates across restarts: Runtime::Reopen
+  // constructs the successor store with the predecessor's leaked_bytes() +
+  // unused_reserved_bytes(), so the counter is monotone over crash-recover
+  // cycles (the leak itself is bounded by one region per socket per restart).
+  explicit ValueStore(PmPool& pool, uint64_t carried_leaked_bytes = 0);
 
   ValueStore(const ValueStore&) = delete;
   ValueStore& operator=(const ValueStore&) = delete;
@@ -37,6 +41,17 @@ class ValueStore {
 
   uint64_t allocated_bytes() const { return allocated_bytes_; }
 
+  // Reserved-but-unwritten tail of each socket's current region. On a
+  // restart this remainder is orphaned (the new store bump-allocates fresh
+  // regions), turning into leak.
+  uint64_t unused_reserved_bytes() const;
+
+  // PM bytes orphaned by previous instances of this pool's value store
+  // (restart leak carried through Runtime::Reopen). Exposed through the
+  // value-store gauge path so `pmctl top`/`series` can watch growth across
+  // repeated crash-recover cycles.
+  uint64_t leaked_bytes() const { return leaked_bytes_; }
+
  private:
   struct Blob {  // persistent, 8 B header then payload
     uint64_t size;
@@ -46,10 +61,11 @@ class ValueStore {
   static constexpr size_t kRegionBytes = 1 << 20;
 
   PmPool* pool_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::vector<std::byte*> region_cursor_;  // per socket: next free byte
   std::vector<std::byte*> region_end_;
   uint64_t allocated_bytes_ = 0;
+  uint64_t leaked_bytes_ = 0;
 };
 
 }  // namespace cclbt::pmem

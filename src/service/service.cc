@@ -1,0 +1,335 @@
+#include "src/service/service.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+#include <utility>
+
+#include "src/bench/metrics_dump.h"
+#include "src/metrics/clock.h"
+#include "src/metrics/metrics.h"
+#include "src/pmsim/media_model.h"
+#include "src/pmsim/thread_context.h"
+#include "src/trace/trace.h"
+
+namespace cclbt::service {
+
+namespace {
+
+// Insert/update/delete are all upsert-class writes (the paper implements all
+// three as upsert, §4.2) — same mapping as the closed-loop driver.
+metrics::OpKind KindOf(OpType op) {
+  switch (op) {
+    case OpType::kRead:
+      return metrics::OpKind::kLookup;
+    case OpType::kScan:
+      return metrics::OpKind::kScan;
+    default:
+      return metrics::OpKind::kUpsert;
+  }
+}
+
+bool IsWrite(OpType op) {
+  return op == OpType::kInsert || op == OpType::kUpdate || op == OpType::kDelete;
+}
+
+// 8 B key + 8 B inline value, the application-intent bytes of a write (the
+// same accounting the closed-loop driver charges per upsert).
+constexpr uint64_t kWriteUserBytes = 16;
+
+}  // namespace
+
+struct ShardedKvService::Shard {
+  std::unique_ptr<pmsim::ThreadContext> ctx;
+  std::deque<Request> queue;
+  ShardStats stats;
+};
+
+ShardedKvService::ShardedKvService(kvindex::Runtime& runtime, const ServiceConfig& config)
+    : rt_(runtime), config_(config), scan_out_(config.scan_len == 0 ? 1 : config.scan_len) {
+  assert(config_.shards >= 1);
+  trees_.reserve(static_cast<size_t>(config_.shards));
+  shards_.reserve(static_cast<size_t>(config_.shards));
+  for (int s = 0; s < config_.shards; s++) {
+    auto shard = std::make_unique<Shard>();
+    // The context constructor installs itself as current, so the index
+    // created next charges its formatting traffic to its own shard.
+    // worker_id = shard id keeps per-thread WAL slots distinct per tree.
+    shard->ctx = std::make_unique<pmsim::ThreadContext>(rt_.device(), rt_.SocketForWorker(s), s);
+    shard->stats.socket = shard->ctx->socket();
+    bench::IndexConfig per_shard = config_.index_config;
+    per_shard.tree.root_slot = s;  // shard i's persistent root -> app-root slot i
+    trees_.push_back(bench::MakeIndex(config_.index, rt_, per_shard));
+    shards_.push_back(std::move(shard));
+  }
+  pmsim::ThreadContext::SetCurrent(nullptr);
+}
+
+ShardedKvService::~ShardedKvService() = default;
+
+int ShardedKvService::ShardOf(uint64_t key) const {
+  auto n = static_cast<uint64_t>(config_.shards);
+  if (config_.partition == Partition::kHash) {
+    return static_cast<int>(Mix64(key ^ 0x5e55'1ce5'4a7dULL) % n);
+  }
+  // Range partition: shard = floor(key / (2^64 / n)) without overflow.
+  return static_cast<int>((static_cast<unsigned __int128>(key) * n) >> 64);
+}
+
+int ShardedKvService::shard_socket(int s) const {
+  return shards_[static_cast<size_t>(s)]->stats.socket;
+}
+
+void ShardedKvService::Warm(const OpenLoopConfig& workload) {
+  for (uint64_t i = 0; i < workload.warm_keys; i++) {
+    uint64_t key = ServiceWarmKey(i);
+    int s = ShardOf(key);
+    pmsim::ThreadContext::SetCurrent(shards_[static_cast<size_t>(s)]->ctx.get());
+    trees_[static_cast<size_t>(s)]->Upsert(key, ServiceValue(i));
+  }
+  pmsim::ThreadContext::SetCurrent(nullptr);
+  // Zero the cost model (stats + every registered virtual clock) so Run()
+  // measures the open-loop phase alone, like the driver's measured phase.
+  rt_.device().ResetCosts();
+}
+
+void ShardedKvService::ServeBatch(int s, uint64_t start_ns, bool closed_loop) {
+  Shard& sh = *shards_[static_cast<size_t>(s)];
+  pmsim::ThreadContext* ctx = sh.ctx.get();
+  pmsim::ThreadContext::SetCurrent(ctx);
+  if (ctx->now_ns() < start_ns) {
+    ctx->ResetClock(start_ns);  // shard was idle until the head request arrived
+  }
+  struct Served {
+    Request req;
+    uint64_t wall_ns;
+  };
+  std::vector<Served> batch;
+  batch.reserve(config_.batch_ops);
+  // Only requests that have arrived by the batch start may ride in it (the
+  // head always qualifies; later queue entries may still be in the future).
+  while (batch.size() < config_.batch_ops && !sh.queue.empty() &&
+         (closed_loop || sh.queue.front().arrival_ns <= start_ns)) {
+    Request req = sh.queue.front();
+    sh.queue.pop_front();
+    uint64_t wall0 = metrics::WallNowNs();
+    kvindex::KvIndex& tree = *trees_[static_cast<size_t>(s)];
+    switch (req.op) {
+      case OpType::kInsert:
+      case OpType::kUpdate:
+        ctx->stats_shard().AddUserBytes(kWriteUserBytes);
+        tree.Upsert(req.key, req.value);
+        break;
+      case OpType::kDelete:
+        ctx->stats_shard().AddUserBytes(kWriteUserBytes);
+        tree.Remove(req.key);
+        break;
+      case OpType::kRead: {
+        uint64_t value = 0;
+        tree.Lookup(req.key, &value);
+        break;
+      }
+      case OpType::kScan:
+        tree.Scan(req.key, config_.scan_len, scan_out_.data());
+        break;
+    }
+    batch.push_back({req, metrics::WallNowNs() - wall0});
+  }
+  // Group commit: every request in the batch is acked at the batch's
+  // completion; an admitted request's latency spans arrival -> ack. In
+  // closed-loop (capacity probe) mode arrivals are synthetic, so latency is
+  // service-only (start -> ack).
+  uint64_t done_ns = ctx->now_ns();
+  for (const Served& sv : batch) {
+    uint64_t arrival = closed_loop ? start_ns : sv.req.arrival_ns;
+    metrics::RecordOp(KindOf(sv.req.op), done_ns - arrival, sv.wall_ns);
+    if (config_.track_acked && IsWrite(sv.req.op)) {
+      acked_[sv.req.key] = sv.req.op == OpType::kDelete ? 0 : sv.req.value;
+    }
+  }
+  sh.stats.completed += batch.size();
+  sh.stats.batches++;
+  metrics::Add(metrics::Counter::kServiceBatches);
+}
+
+ServiceResult ShardedKvService::Run(const OpenLoopConfig& workload) {
+  const bool closed_loop = workload.offered_mops <= 0;
+  const bool metrics_dump = bench::MetricsDumpRequested();
+  metrics::Reset();
+  metrics::SetEnabled(true);
+  pmsim::StatsSnapshot before = rt_.device().stats().Snapshot();
+  for (auto& sh : shards_) {
+    ShardStats fresh;
+    fresh.socket = sh->stats.socket;
+    sh->stats = fresh;
+    sh->queue.clear();
+  }
+
+  const bool collect_epochs = config_.collect_epochs;
+  const uint64_t epoch_ns = std::max<uint64_t>(1, config_.metrics_epoch_ns);
+  uint64_t next_epoch_ns = epoch_ns;
+  metrics::EpochSeries epochs;
+  pmsim::StatsSnapshot epoch_prev_stats = before;
+  metrics::MetricsSnapshot epoch_prev_metrics;
+  auto record_epoch = [&](uint64_t t_ns) {
+    pmsim::StatsSnapshot cur = rt_.device().stats().Snapshot();
+    pmsim::StatsSnapshot win = cur.Delta(epoch_prev_stats);
+    metrics::MetricsSnapshot mcur = metrics::Snapshot();
+    metrics::EpochRecord e;
+    e.index = epochs.size();
+    e.t_ns = t_ns;
+    for (int k = 0; k < metrics::kNumOpKinds; k++) {
+      metrics::Histogram w = mcur.op_virtual[k].Delta(epoch_prev_metrics.op_virtual[k]);
+      e.ops.push_back(w.Count());
+      e.p50_ns.push_back(w.Count() == 0 ? 0 : w.Percentile(50));
+      e.p99_ns.push_back(w.Count() == 0 ? 0 : w.Percentile(99));
+      e.p999_ns.push_back(w.Count() == 0 ? 0 : w.Percentile(99.9));
+    }
+    e.user_bytes = win.user_bytes;
+    e.xpbuffer_write_bytes = win.xpbuffer_write_bytes;
+    e.media_write_bytes = win.media_write_bytes;
+    e.media_read_bytes = win.media_read_bytes;
+    e.line_flushes = win.line_flushes;
+    e.fences = win.fences;
+    for (int c = 0; c < trace::kNumComponents; c++) {
+      e.comp_bytes.push_back(win.media_write_bytes_by_component[c]);
+    }
+    pmsim::PmDevice::XpBufferTotals xb = rt_.device().SampleXpBuffers();
+    e.xpbuf_resident = xb.resident;
+    e.xpbuf_insertions = xb.insertions;
+    e.xpbuf_evictions = xb.evictions;
+    for (int c = 0; c < metrics::kNumCounters; c++) {
+      e.counters.push_back(mcur.counters[c] - epoch_prev_metrics.counters[c]);
+    }
+    // Per-shard service gauges (queue depth at the epoch instant, cumulative
+    // sheds) plus each shard index's own gauges, name-prefixed by shard.
+    for (int s = 0; s < config_.shards; s++) {
+      const Shard& sh = *shards_[static_cast<size_t>(s)];
+      std::string p = "s" + std::to_string(s) + "_";
+      e.gauges.emplace_back(p + "queue_depth", sh.queue.size());
+      e.gauges.emplace_back(p + "shed", sh.stats.shed);
+      std::vector<std::pair<std::string, uint64_t>> tree_gauges;
+      trees_[static_cast<size_t>(s)]->SampleGauges(&tree_gauges);
+      for (auto& [name, value] : tree_gauges) {
+        e.gauges.emplace_back(p + name, value);
+      }
+    }
+    epochs.push_back(std::move(e));
+    epoch_prev_stats = cur;
+    epoch_prev_metrics = std::move(mcur);
+  };
+
+  OpenLoopGenerator gen(workload);
+  Request next;
+  bool have_next = gen.Next(&next);
+  uint64_t offered = 0;
+
+  // Deterministic event loop: the next event is either the earliest pending
+  // arrival (admission control runs at arrival time) or the earliest shard
+  // batch start — min virtual time wins, lowest shard id breaks ties.
+  while (true) {
+    int best = -1;
+    uint64_t best_t = UINT64_MAX;
+    for (int s = 0; s < config_.shards; s++) {
+      Shard& sh = *shards_[static_cast<size_t>(s)];
+      if (sh.queue.empty()) {
+        continue;
+      }
+      uint64_t t = std::max(sh.ctx->now_ns(),
+                            closed_loop ? 0 : sh.queue.front().arrival_ns);
+      if (t < best_t) {
+        best_t = t;
+        best = s;
+      }
+    }
+    if (have_next && (best < 0 || next.arrival_ns <= best_t)) {
+      offered++;
+      Shard& sh = *shards_[static_cast<size_t>(ShardOf(next.key))];
+      if (!closed_loop && sh.queue.size() >= config_.queue_capacity) {
+        sh.stats.shed++;
+        metrics::Add(metrics::Counter::kServiceSheds);
+      } else {
+        sh.queue.push_back(next);
+        sh.stats.max_queue_depth = std::max<uint64_t>(sh.stats.max_queue_depth, sh.queue.size());
+        sh.stats.admitted++;
+        metrics::Add(metrics::Counter::kServiceAdmits);
+      }
+      have_next = gen.Next(&next);
+      continue;
+    }
+    if (best < 0) {
+      break;  // stream exhausted and every queue drained
+    }
+    ServeBatch(best, best_t, closed_loop);
+    if (collect_epochs) {
+      uint64_t now = shards_[static_cast<size_t>(best)]->ctx->now_ns();
+      if (now >= next_epoch_ns) {
+        record_epoch(now);
+        next_epoch_ns = (now / epoch_ns + 1) * epoch_ns;
+      }
+    }
+  }
+  pmsim::ThreadContext::SetCurrent(nullptr);
+
+  ServiceResult result;
+  result.offered = offered;
+  uint64_t frontier_ns = 0;
+  for (auto& sh : shards_) {
+    sh->stats.final_vtime_ns = sh->ctx->now_ns();
+    frontier_ns = std::max(frontier_ns, sh->stats.final_vtime_ns);
+    result.admitted += sh->stats.admitted;
+    result.shed += sh->stats.shed;
+    result.completed += sh->stats.completed;
+    result.shards.push_back(sh->stats);
+  }
+  if (collect_epochs) {
+    // Close the final (partial) window so the series tiles the whole run.
+    record_epoch(frontier_ns);
+  }
+  result.shed_rate =
+      offered == 0 ? 0.0 : static_cast<double>(result.shed) / static_cast<double>(offered);
+  result.offered_mops = workload.offered_mops;
+  uint64_t elapsed_ns = std::max(frontier_ns, rt_.device().MaxDimmBusyNs());
+  result.elapsed_virtual_ms = static_cast<double>(elapsed_ns) / 1e6;
+  result.achieved_mops = elapsed_ns == 0 ? 0.0
+                                         : static_cast<double>(result.completed) * 1e3 /
+                                               static_cast<double>(elapsed_ns);
+  pmsim::StatsSnapshot after = rt_.device().stats().Snapshot();
+  result.stats = after.Delta(before);
+  result.cli_amplification = result.stats.CliAmplification();
+  result.xbi_amplification = result.stats.XbiAmplification();
+  result.metrics_snapshot = metrics::Snapshot();
+  result.epochs = std::move(epochs);
+  metrics::SetEnabled(false);
+
+  if (metrics_dump) {
+    metrics::PmMetricsFile file;
+    file.header.label = config_.label.empty() ? "service" : config_.label;
+    file.header.backend = pmsim::MediaBackendName(rt_.device().config().backend);
+    file.header.epoch_ns = epoch_ns;
+    file.header.threads = static_cast<uint64_t>(config_.shards);
+    file.header.ops = workload.ops;
+    for (int k = 0; k < metrics::kNumOpKinds; k++) {
+      file.header.op_kinds.emplace_back(metrics::OpKindName(static_cast<metrics::OpKind>(k)));
+    }
+    for (int c = 0; c < metrics::kNumCounters; c++) {
+      file.header.counters.emplace_back(metrics::CounterName(static_cast<metrics::Counter>(c)));
+    }
+    for (int c = 0; c < trace::kNumComponents; c++) {
+      file.header.components.emplace_back(trace::ComponentName(static_cast<trace::Component>(c)));
+    }
+    file.epochs = result.epochs;
+    file.has_summary = true;
+    file.summary.elapsed_virtual_ns = elapsed_ns;
+    for (int k = 0; k < metrics::kNumOpKinds; k++) {
+      file.summary.virt.push_back(
+          metrics::SummarizeHistogram(result.metrics_snapshot.op_virtual[k]));
+      file.summary.wall.push_back(
+          metrics::SummarizeHistogram(result.metrics_snapshot.op_wall[k]));
+    }
+    result.metrics_dump_path = bench::WriteMetricsDump(file);
+  }
+  return result;
+}
+
+}  // namespace cclbt::service

@@ -16,10 +16,14 @@
 #      persistence-domain backend (CCL_BACKEND=eadr, then =cxl; DESIGN.md
 #      §14) so every test workload also runs in the flush-free and
 #      page-granular domains
+#   6c. service: the sharded KV front-end suite re-run as a named step
+#      (ctest -R service) so a socket-pinning, admission-control, or
+#      acked-write-durability regression is named explicitly (DESIGN.md §15)
 #   7. determinism: staged benches run twice with pmcheck enabled,
 #      virtual-metric tails diffed (run_benches.sh --determinism; §10 —
 #      diagnostics must not perturb virtual time); includes the
-#      bench_backend_matrix sweep across all backends
+#      bench_backend_matrix sweep across all backends and the open-loop
+#      bench_service_tail sweep (virtual tail latencies must be bit-stable)
 #   8. metrics-determinism: the metrics registry / epoch-series test binary
 #      re-run on its own so a nondeterministic .pmmetrics series is named
 #      explicitly in the CI log (step 7 additionally diffs the epoch series
@@ -89,14 +93,20 @@ CCL_BACKEND=eadr ctest --test-dir build --output-on-failure -j"$(nproc)"
 echo "=== backend-matrix: ctest with CCL_BACKEND=cxl ==="
 CCL_BACKEND=cxl ctest --test-dir build --output-on-failure -j"$(nproc)"
 
+# Service front-end: socket pinning, partition coverage, admission-control
+# shedding, epoch-series determinism, and the crash matrix over an open-loop
+# run (no acked-then-lost writes) as an explicitly named step (DESIGN.md §15).
+echo "=== service: ctest -R service ==="
+ctest --test-dir build -R service --output-on-failure
+
 # Determinism gate: the paper-figure benches must produce bit-identical
 # virtual-metric tails across back-to-back runs — including cclbtree rows
 # with background GC on (DESIGN.md §10) and the backend-matrix sweep across
 # ADR/eADR/CXL (DESIGN.md §14). Small scale: the property being checked is
 # exact equality, not the metric values themselves.
-echo "=== determinism: fig03/fig10/fig14/backend_matrix run twice, tails diffed (pmcheck on) ==="
+echo "=== determinism: fig03/fig10/fig14/backend_matrix/service_tail run twice, tails diffed (pmcheck on) ==="
 CCL_PMCHECK=1 CCL_BENCH_SCALE="${CCL_BENCH_SCALE:-60000}" \
-  ./run_benches.sh --determinism 'fig03|fig10|fig14|backend_matrix'
+  ./run_benches.sh --determinism 'fig03|fig10|fig14|backend_matrix|service_tail'
 
 # Metrics determinism: the registry's own suite (shard-merge conservation,
 # bit-identical epoch series for identical RunConfigs including a

@@ -29,7 +29,8 @@ import re
 import sys
 from collections import defaultdict
 
-ROW = re.compile(r"^(?P<name>(fig|tab|extra|backend)\w*/\S+?)/iterations:1\s+(?P<rest>.*)$")
+ROW = re.compile(
+    r"^(?P<name>(fig|tab|extra|backend|service)\w*/\S+?)/iterations:1\s+(?P<rest>.*)$")
 COUNTER = re.compile(r"(\w+)=([-\d.keM]+)")
 
 
