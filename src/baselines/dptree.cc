@@ -41,7 +41,7 @@ void DpTree::Upsert(uint64_t key, uint64_t value) {
   pmsim::ThreadContext* ctx = pmsim::ThreadContext::Current();
   bool need_merge = false;
   {
-    std::shared_lock<std::shared_mutex> gate(mu_);
+    sync::SharedLockGuard<sync::SharedMutex> gate(mu_);
     // Crash consistency: log first (sequential per-thread PM append), then
     // buffer in DRAM.
     uint64_t ts = rt_.ordo().Now(ctx->socket());
@@ -49,7 +49,7 @@ void DpTree::Upsert(uint64_t key, uint64_t value) {
     assert(logged && "log arena exhausted");
     (void)logged;
     {
-      std::unique_lock<std::shared_mutex> guard(buffer_mu_);
+      sync::LockGuard<sync::SharedMutex> guard(buffer_mu_);
       buffer_[key] = value;
       need_merge =
           buffer_.size() >= options_.min_buffer_entries &&
@@ -59,10 +59,10 @@ void DpTree::Upsert(uint64_t key, uint64_t value) {
     }
   }
   if (need_merge) {
-    std::unique_lock<std::shared_mutex> gate(mu_);
+    sync::LockGuard<sync::SharedMutex> gate(mu_);
     bool still_needed;
     {
-      std::shared_lock<std::shared_mutex> guard(buffer_mu_);
+      sync::SharedLockGuard<sync::SharedMutex> guard(buffer_mu_);
       still_needed =
           buffer_.size() >= options_.min_buffer_entries &&
           buffer_.size() * 100 >
@@ -136,7 +136,7 @@ void DpTree::MergeLocked() {
   // pause. Changes are applied leaf-by-leaf in key order with COW rewrites.
   std::vector<std::pair<uint64_t, uint64_t>> entries;
   {
-    std::unique_lock<std::shared_mutex> guard(buffer_mu_);
+    sync::LockGuard<sync::SharedMutex> guard(buffer_mu_);
     entries.assign(buffer_.begin(), buffer_.end());
     buffer_.clear();
   }
@@ -190,10 +190,10 @@ bool DpTree::BaseLookup(uint64_t key, uint64_t* value_out) const {
 }
 
 bool DpTree::Lookup(uint64_t key, uint64_t* value_out) {
-  std::shared_lock<std::shared_mutex> gate(mu_);
+  sync::SharedLockGuard<sync::SharedMutex> gate(mu_);
   {
     // The extra read cost DPTree pays: probing the big global buffer.
-    std::shared_lock<std::shared_mutex> guard(buffer_mu_);
+    sync::SharedLockGuard<sync::SharedMutex> guard(buffer_mu_);
     auto it = buffer_.find(key);
     pmsim::AdvanceCpu(24 * rt_.device().config().cost.dram_access_ns);
     if (it != buffer_.end()) {
@@ -213,7 +213,7 @@ bool DpTree::Remove(uint64_t key) {
 }
 
 size_t DpTree::Scan(uint64_t start_key, size_t count, kvindex::KeyValue* out) {
-  std::shared_lock<std::shared_mutex> gate(mu_);
+  sync::SharedLockGuard<sync::SharedMutex> gate(mu_);
   // Base range: walk big leaves via the DRAM index.
   std::vector<kvindex::KeyValue> base_entries;
   base_entries.reserve(count + 64);
@@ -236,7 +236,7 @@ size_t DpTree::Scan(uint64_t start_key, size_t count, kvindex::KeyValue* out) {
     leaf = next_leaf;
   }
   // Merge with the buffered range.
-  std::shared_lock<std::shared_mutex> guard(buffer_mu_);
+  sync::SharedLockGuard<sync::SharedMutex> guard(buffer_mu_);
   auto it = buffer_.lower_bound(start_key);
   size_t produced = 0;
   size_t bi = 0;
@@ -269,14 +269,14 @@ kvindex::MemoryFootprint DpTree::Footprint() const {
   kvindex::MemoryFootprint footprint;
   footprint.pm_bytes = rt_.pool().AllocatedBytes();
   footprint.dram_bytes = base_index_.MemoryBytes();
-  std::shared_lock<std::shared_mutex> guard(buffer_mu_);
+  sync::SharedLockGuard<sync::SharedMutex> guard(buffer_mu_);
   // std::map node overhead: ~48 B bookkeeping + 16 B payload per entry.
   footprint.dram_bytes += buffer_.size() * 64;
   return footprint;
 }
 
 void DpTree::FlushAll() {
-  std::unique_lock<std::shared_mutex> gate(mu_);
+  sync::LockGuard<sync::SharedMutex> gate(mu_);
   MergeLocked();
 }
 

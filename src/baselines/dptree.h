@@ -20,7 +20,7 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <shared_mutex>
+#include "src/common/lock.h"
 #include <vector>
 
 #include "src/core/wal.h"
@@ -79,9 +79,9 @@ class DpTree : public kvindex::KvIndex {
   std::unique_ptr<core::WalSet> wals_;
   std::unique_ptr<pmem::SlabAllocator> leaf_slab_;
 
-  mutable std::shared_mutex mu_;  // buffer ops shared; merge exclusive
+  mutable sync::SharedMutex mu_{"bl.dptree_gate"};  // buffer ops shared; merge exclusive
   std::map<uint64_t, uint64_t> buffer_;  // global DRAM buffer (front tree)
-  mutable std::shared_mutex buffer_mu_;
+  mutable sync::SharedMutex buffer_mu_{"bl.dptree_buffer"};
   kvindex::DramBTree<BigLeaf*> base_index_;  // separator -> PM big leaf
   std::atomic<uint64_t> base_entries_{0};
   std::atomic<uint64_t> merges_{0};

@@ -272,7 +272,7 @@ void FastFairTree::InsertIntoNode(Node* node, uint64_t key, uint64_t payload, No
 
 void FastFairTree::Upsert(uint64_t key, uint64_t value) {
   assert(key != 0);
-  std::unique_lock<std::shared_mutex> guard(mu_);
+  sync::LockGuard<sync::SharedMutex> guard(mu_);
   Node* path[24];
   int path_len = 0;
   Node* leaf = DescendToLeaf(key, path, &path_len);
@@ -280,7 +280,7 @@ void FastFairTree::Upsert(uint64_t key, uint64_t value) {
 }
 
 bool FastFairTree::Lookup(uint64_t key, uint64_t* value_out) {
-  std::shared_lock<std::shared_mutex> guard(mu_);
+  sync::SharedLockGuard<sync::SharedMutex> guard(mu_);
   Node* leaf = DescendToLeaf(key, nullptr, nullptr);
   // Binary search within the sorted leaf.
   const auto* begin = leaf->entries;
@@ -295,7 +295,7 @@ bool FastFairTree::Lookup(uint64_t key, uint64_t* value_out) {
 }
 
 bool FastFairTree::Remove(uint64_t key) {
-  std::unique_lock<std::shared_mutex> guard(mu_);
+  sync::LockGuard<sync::SharedMutex> guard(mu_);
   Node* leaf = DescendToLeaf(key, nullptr, nullptr);
   int pos = 0;
   while (pos < static_cast<int>(leaf->count) && leaf->entries[pos].key < key) {
@@ -321,7 +321,7 @@ bool FastFairTree::Remove(uint64_t key) {
 }
 
 size_t FastFairTree::Scan(uint64_t start_key, size_t count, kvindex::KeyValue* out) {
-  std::shared_lock<std::shared_mutex> guard(mu_);
+  sync::SharedLockGuard<sync::SharedMutex> guard(mu_);
   Node* leaf = DescendToLeaf(start_key, nullptr, nullptr);
   size_t produced = 0;
   while (leaf != nullptr && produced < count) {

@@ -16,7 +16,7 @@
 #define SRC_BASELINES_FASTFAIR_H_
 
 #include <memory>
-#include <shared_mutex>
+#include "src/common/lock.h"
 
 #include "src/kvindex/kv_index.h"
 #include "src/kvindex/runtime.h"
@@ -75,7 +75,7 @@ class FastFairTree : public kvindex::KvIndex {
   kvindex::Lifecycle lifecycle_;
   bool recovered_ = false;
   uint64_t last_recovery_modeled_ns_ = 0;
-  mutable std::shared_mutex mu_;
+  mutable sync::SharedMutex mu_{"bl.fastfair"};
 };
 
 }  // namespace cclbt::baselines

@@ -1,7 +1,6 @@
 #include "src/baselines/flatstore.h"
 
 #include <cassert>
-#include <mutex>
 
 namespace cclbt::baselines {
 
@@ -17,7 +16,7 @@ const FlatStore::Record* FlatStore::Append(uint64_t key, uint64_t value, bool to
   assert(ctx != nullptr);
   auto& log = logs_[static_cast<size_t>(ctx->worker_id())];
   if (log.chunk == nullptr || log.cursor + sizeof(Record) > pmem::kLogChunkBytes) {
-    std::lock_guard<std::mutex> guard(logs_mu_);
+    sync::LockGuard<sync::Mutex> guard(logs_mu_);
     log.chunk = static_cast<std::byte*>(arena_->AllocChunk(ctx->socket()));
     assert(log.chunk != nullptr && "PM exhausted");
     log.cursor = 64;  // skip a header-sized stride like the WAL layout
@@ -36,7 +35,7 @@ const FlatStore::Record* FlatStore::Append(uint64_t key, uint64_t value, bool to
 void FlatStore::Upsert(uint64_t key, uint64_t value) {
   assert(key != 0);
   const Record* record = Append(key, value, /*tombstone=*/false);
-  std::unique_lock<std::shared_mutex> guard(mu_);
+  sync::LockGuard<sync::SharedMutex> guard(mu_);
   index_[key] = record;
   pmsim::AdvanceCpu(16 * rt_.device().config().cost.dram_access_ns);
 }
@@ -44,7 +43,7 @@ void FlatStore::Upsert(uint64_t key, uint64_t value) {
 bool FlatStore::Lookup(uint64_t key, uint64_t* value_out) {
   const Record* record = nullptr;
   {
-    std::shared_lock<std::shared_mutex> guard(mu_);
+    sync::SharedLockGuard<sync::SharedMutex> guard(mu_);
     auto it = index_.find(key);
     pmsim::AdvanceCpu(16 * rt_.device().config().cost.dram_access_ns);
     if (it == index_.end()) {
@@ -64,7 +63,7 @@ bool FlatStore::Remove(uint64_t key) {
   // The tombstone record makes the delete durable; the volatile index entry
   // is simply dropped (it is rebuilt from the log on recovery anyway).
   Append(key, 0, /*tombstone=*/true);
-  std::unique_lock<std::shared_mutex> guard(mu_);
+  sync::LockGuard<sync::SharedMutex> guard(mu_);
   return index_.erase(key) > 0;
 }
 
@@ -75,7 +74,7 @@ size_t FlatStore::Scan(uint64_t start_key, size_t count, kvindex::KeyValue* out)
   std::vector<const Record*> records;
   records.reserve(count);
   {
-    std::shared_lock<std::shared_mutex> guard(mu_);
+    sync::SharedLockGuard<sync::SharedMutex> guard(mu_);
     for (auto it = index_.lower_bound(start_key); it != index_.end() && records.size() < count;
          ++it) {
       records.push_back(it->second);
@@ -94,7 +93,7 @@ size_t FlatStore::Scan(uint64_t start_key, size_t count, kvindex::KeyValue* out)
 
 kvindex::MemoryFootprint FlatStore::Footprint() const {
   kvindex::MemoryFootprint footprint;
-  std::shared_lock<std::shared_mutex> guard(mu_);
+  sync::SharedLockGuard<sync::SharedMutex> guard(mu_);
   footprint.dram_bytes = index_.size() * 64;  // map node + pointer payload
   footprint.pm_bytes = rt_.pool().AllocatedBytes();
   return footprint;

@@ -16,7 +16,7 @@
 
 #include <map>
 #include <memory>
-#include <shared_mutex>
+#include "src/common/lock.h"
 #include <vector>
 
 #include "src/kvindex/kv_index.h"
@@ -63,9 +63,9 @@ class FlatStore : public kvindex::KvIndex {
   kvindex::Runtime& rt_;
   std::unique_ptr<pmem::LogArena> arena_;
   std::vector<ThreadLog> logs_;  // per worker id
-  std::mutex logs_mu_;           // guards chunk activation only
+  sync::Mutex logs_mu_{"bl.flatstore_logs"};  // guards chunk activation only
 
-  mutable std::shared_mutex mu_;
+  mutable sync::SharedMutex mu_{"bl.flatstore"};
   std::map<uint64_t, const Record*> index_;
 };
 

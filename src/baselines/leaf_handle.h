@@ -7,8 +7,8 @@
 
 #include <atomic>
 #include <cstdint>
-#include <thread>
 
+#include "src/common/lock.h"
 #include "src/core/leaf_node.h"
 
 namespace cclbt::baselines {
@@ -17,26 +17,11 @@ class LeafHandle {
  public:
   LeafHandle(core::PmLeaf* leaf, uint64_t sep) : leaf_(leaf), sep_(sep) {}
 
-  bool TryLock() {
-    uint64_t v = version_.load(std::memory_order_acquire);
-    if ((v & 1) != 0) {
-      return false;
-    }
-    return version_.compare_exchange_weak(v, v + 1, std::memory_order_acquire);
-  }
-  void Unlock() { version_.fetch_add(1, std::memory_order_release); }
+  bool TryLock() TRY_ACQUIRE(version_) { return version_.TryLock(); }
+  void Unlock() RELEASE(version_) { version_.Unlock(); }
 
-  uint64_t ReadBegin() const {
-    uint64_t v;
-    while (((v = version_.load(std::memory_order_acquire)) & 1) != 0) {
-      std::this_thread::yield();  // see core/buffer_node.h
-    }
-    return v;
-  }
-  bool ReadValidate(uint64_t snapshot) const {
-    std::atomic_thread_fence(std::memory_order_acquire);
-    return version_.load(std::memory_order_acquire) == snapshot;
-  }
+  uint64_t ReadBegin() const { return version_.ReadBegin(); }
+  bool ReadValidate(uint64_t snapshot) const { return version_.ReadValidate(snapshot); }
 
   core::PmLeaf* leaf() const { return leaf_; }
   uint64_t sep() const { return sep_; }
@@ -44,7 +29,7 @@ class LeafHandle {
   void MarkDead() { dead_.store(true, std::memory_order_release); }
 
  private:
-  std::atomic<uint64_t> version_{0};
+  mutable sync::SeqLock version_{"bl.leaf_version"};
   core::PmLeaf* leaf_;
   uint64_t sep_;
   std::atomic<bool> dead_{false};

@@ -42,7 +42,7 @@ LeafTree::~LeafTree() = default;
 LeafHandle* LeafTree::NewHandle(PmLeaf* leaf, uint64_t sep) {
   auto handle = std::make_unique<LeafHandle>(leaf, sep);
   LeafHandle* raw = handle.get();
-  std::lock_guard<std::mutex> guard(handles_mu_);
+  sync::LockGuard<sync::Mutex> guard(handles_mu_);
   handles_.push_back(std::move(handle));
   return raw;
 }

@@ -24,7 +24,7 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
+#include "src/common/lock.h"
 #include <vector>
 
 #include "src/baselines/leaf_handle.h"
@@ -70,7 +70,7 @@ class LeafTree : public kvindex::KvIndex {
   kvindex::DramBTree<LeafHandle*> inner_;
   core::PmLeaf* head_leaf_;
 
-  std::mutex handles_mu_;
+  sync::Mutex handles_mu_{"bl.leaf_handles"};
   std::vector<std::unique_ptr<LeafHandle>> handles_;
 };
 

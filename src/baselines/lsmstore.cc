@@ -32,7 +32,7 @@ LsmStore::Run LsmStore::WriteRun(const std::vector<kvindex::KeyValue>& entries) 
 void LsmStore::Upsert(uint64_t key, uint64_t value) {
   assert(key != 0);
   pmsim::ThreadContext* ctx = pmsim::ThreadContext::Current();
-  std::unique_lock<std::shared_mutex> guard(mu_);
+  sync::LockGuard<sync::SharedMutex> guard(mu_);
   // WAL append (sequential), then memtable insert.
   if (wal_remaining_ < 24) {
     wal_cursor_ = static_cast<std::byte*>(
@@ -118,7 +118,7 @@ void LsmStore::CompactLocked(int level) {
 }
 
 bool LsmStore::Lookup(uint64_t key, uint64_t* value_out) {
-  std::shared_lock<std::shared_mutex> guard(mu_);
+  sync::SharedLockGuard<sync::SharedMutex> guard(mu_);
   pmsim::AdvanceCpu(16 * rt_.device().config().cost.dram_access_ns);
   auto it = memtable_.find(key);
   if (it != memtable_.end()) {
@@ -163,7 +163,7 @@ bool LsmStore::Remove(uint64_t key) {
 }
 
 size_t LsmStore::Scan(uint64_t start_key, size_t count, kvindex::KeyValue* out) {
-  std::shared_lock<std::shared_mutex> guard(mu_);
+  sync::SharedLockGuard<sync::SharedMutex> guard(mu_);
   // Merge the memtable and every run: collect candidates per source, then
   // pick newest version per key — the multi-source seek+merge that makes LSM
   // scans slow.
@@ -204,14 +204,14 @@ size_t LsmStore::Scan(uint64_t start_key, size_t count, kvindex::KeyValue* out) 
 
 kvindex::MemoryFootprint LsmStore::Footprint() const {
   kvindex::MemoryFootprint footprint;
-  std::shared_lock<std::shared_mutex> guard(mu_);
+  sync::SharedLockGuard<sync::SharedMutex> guard(mu_);
   footprint.dram_bytes = memtable_.size() * 64;
   footprint.pm_bytes = rt_.pool().AllocatedBytes();
   return footprint;
 }
 
 void LsmStore::FlushAll() {
-  std::unique_lock<std::shared_mutex> guard(mu_);
+  sync::LockGuard<sync::SharedMutex> guard(mu_);
   FlushMemtableLocked();
   MaybeCompactLocked();
 }

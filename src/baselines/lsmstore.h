@@ -13,8 +13,7 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
+#include "src/common/lock.h"
 #include <vector>
 
 #include "src/kvindex/kv_index.h"
@@ -63,7 +62,7 @@ class LsmStore : public kvindex::KvIndex {
   kvindex::Runtime& rt_;
   Options options_;
 
-  mutable std::shared_mutex mu_;  // structure lock (memtable + levels)
+  mutable sync::SharedMutex mu_{"bl.lsmstore"};  // structure lock (memtable + levels)
   std::map<uint64_t, uint64_t> memtable_;  // value 0 = tombstone
   std::byte* wal_cursor_ = nullptr;
   size_t wal_remaining_ = 0;

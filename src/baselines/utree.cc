@@ -42,7 +42,7 @@ UTree::ListNode* UTree::NodeAt(uint64_t offset) const {
 void UTree::Upsert(uint64_t key, uint64_t value) {
   assert(key != 0);
   pmsim::AdvanceCpu(8 * rt_.device().config().cost.dram_access_ns);
-  std::unique_lock<std::shared_mutex> guard(mu_);
+  sync::LockGuard<sync::SharedMutex> guard(mu_);
   ListNode* existing = nullptr;
   if (index_.Get(key, &existing)) {
     // In-place value update: one random PM line.
@@ -71,7 +71,7 @@ void UTree::Upsert(uint64_t key, uint64_t value) {
 
 bool UTree::Lookup(uint64_t key, uint64_t* value_out) {
   pmsim::AdvanceCpu(8 * rt_.device().config().cost.dram_access_ns);
-  std::shared_lock<std::shared_mutex> guard(mu_);
+  sync::SharedLockGuard<sync::SharedMutex> guard(mu_);
   ListNode* node = nullptr;
   if (!index_.Get(key, &node) || node->valid == 0) {
     return false;
@@ -83,7 +83,7 @@ bool UTree::Lookup(uint64_t key, uint64_t* value_out) {
 
 bool UTree::Remove(uint64_t key) {
   pmsim::AdvanceCpu(8 * rt_.device().config().cost.dram_access_ns);
-  std::unique_lock<std::shared_mutex> guard(mu_);
+  sync::LockGuard<sync::SharedMutex> guard(mu_);
   ListNode* node = nullptr;
   if (!index_.Get(key, &node)) {
     return false;
@@ -105,7 +105,7 @@ bool UTree::Remove(uint64_t key) {
 }
 
 size_t UTree::Scan(uint64_t start_key, size_t count, kvindex::KeyValue* out) {
-  std::shared_lock<std::shared_mutex> guard(mu_);
+  sync::SharedLockGuard<sync::SharedMutex> guard(mu_);
   bool found = false;
   ListNode* node = index_.RouteFloor(start_key, &found);
   if (!found) {

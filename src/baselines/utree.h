@@ -12,7 +12,7 @@
 #define SRC_BASELINES_UTREE_H_
 
 #include <memory>
-#include <shared_mutex>
+#include "src/common/lock.h"
 
 #include "src/kvindex/dram_btree.h"
 #include "src/kvindex/kv_index.h"
@@ -43,7 +43,7 @@ class UTree : public kvindex::KvIndex {
   // Maps every key to its PM list node (per-KV DRAM indexing).
   kvindex::DramBTree<ListNode*> index_;
   ListNode* head_;  // sentinel
-  mutable std::shared_mutex mu_;  // writers exclusive; readers shared
+  mutable sync::SharedMutex mu_{"bl.utree"};  // writers exclusive; readers shared
 };
 
 }  // namespace cclbt::baselines

@@ -493,6 +493,9 @@ RunResult RunWorkload(kvindex::Runtime& runtime, kvindex::KvIndex& index,
   if (pmsim::PmCheck* check = runtime.device().pmcheck(); check != nullptr) {
     result.pmcheck = check->Snapshot();
   }
+  if (pmsim::LockCheck* locks = runtime.device().lockcheck(); locks != nullptr) {
+    result.lockcheck = locks->Snapshot();
+  }
 
   if (tracing) {
     result.trace_dump_path =
@@ -515,6 +518,7 @@ RunResult RunIndexWorkload(const std::string& index_name, const RunConfig& confi
   // counters only exist when enabled at device construction).
   runtime_options.device.record_unit_heatmap = TraceDumpRequested();
   runtime_options.device.pmcheck = config.pmcheck;
+  runtime_options.device.lockcheck = config.lockcheck;
   runtime_options.device.backend = config.backend;
   if (config.media_unit_bytes != 0) {
     runtime_options.device.xpline_bytes = config.media_unit_bytes;
@@ -553,6 +557,28 @@ RunResult RunIndexWorkload(const std::string& index_name, const RunConfig& confi
                      pmsim::PmCheckClassName(static_cast<pmsim::PmCheckClass>(c)),
                      static_cast<unsigned long long>(
                          result.pmcheck.counts[static_cast<size_t>(c)]));
+      }
+    }
+  }
+  if (pmsim::LockCheck* locks = runtime.device().lockcheck(); locks != nullptr) {
+    result.lockcheck = locks->Snapshot();
+    if (!result.trace_dump_path.empty()) {
+      AppendLockCheckSection(result.trace_dump_path, result.lockcheck);
+    }
+    std::fprintf(stderr,
+                 "lockcheck[%s]: %llu violation(s), %llu informational, %llu suppressed, "
+                 "%llu locks / %llu lines tracked\n",
+                 label.c_str(), static_cast<unsigned long long>(result.lockcheck.total()),
+                 static_cast<unsigned long long>(result.lockcheck.total_info()),
+                 static_cast<unsigned long long>(result.lockcheck.total_suppressed()),
+                 static_cast<unsigned long long>(result.lockcheck.locks_tracked),
+                 static_cast<unsigned long long>(result.lockcheck.lines_tracked));
+    for (int c = 0; c < pmsim::kNumLockCheckClasses; c++) {
+      if (result.lockcheck.counts[static_cast<size_t>(c)] != 0) {
+        std::fprintf(stderr, "lockcheck[%s]:   %-20s %llu\n", label.c_str(),
+                     pmsim::LockCheckClassName(static_cast<pmsim::LockCheckClass>(c)),
+                     static_cast<unsigned long long>(
+                         result.lockcheck.counts[static_cast<size_t>(c)]));
       }
     }
   }

@@ -24,6 +24,7 @@
 #include "src/kvindex/runtime.h"
 #include "src/metrics/histogram.h"
 #include "src/metrics/pmmetrics.h"
+#include "src/pmsim/lockcheck.h"
 #include "src/pmsim/pmcheck.h"
 #include "src/trace/component.h"
 
@@ -99,6 +100,12 @@ struct RunConfig {
   // when a trace dump is written, appended to it for `pmctl check`. Never
   // perturbs virtual-time metrics.
   bool pmcheck = false;
+  // Enable the lockcheck lockset/lock-order sanitizer (DESIGN.md §16) on the
+  // run's device. Equivalent to CCL_LOCKCHECK=1 (the environment variable
+  // overrides in either direction). Diagnostics are returned in
+  // RunResult::lockcheck and, when a trace dump is written, appended to it
+  // for `pmctl locks`. Never perturbs virtual-time metrics.
+  bool lockcheck = false;
   // Persistence-domain backend for the run's device (DESIGN.md §14). kAuto
   // resolves through DeviceConfig's legacy eadr flag, then the CCL_BACKEND
   // environment selector, then defaults to ADR/Optane.
@@ -142,6 +149,10 @@ struct RunResult {
   // refreshes it after an end-of-run DrainBuffers so the unflushed-at-close
   // class is included; RunWorkload alone reports the phases it saw.
   pmsim::PmCheckReport pmcheck;
+  // lockcheck report (enabled == false unless the checker ran). Snapshot at
+  // measurement end; the event stream keeps flowing until the runtime dies,
+  // but counts only grow, so a clean snapshot of a finished run stays clean.
+  pmsim::LockCheckReport lockcheck;
   // Configuration the driver could not honor (e.g. gc_epoch_ops or the
   // metrics epoch series under os_parallel, which are sequential-scheduling
   // features). Each dropped request produces one entry here and one warning

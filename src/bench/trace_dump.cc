@@ -158,7 +158,10 @@ bool AppendPmCheckSection(const std::string& path, const pmsim::PmCheckReport& r
   out << "pmcheck 2\n";
   out << "pmcheckstat fence_epochs " << report.fence_epochs << "\n";
   out << "pmcheckstat lines_tracked " << report.lines_tracked << "\n";
-  out << "pmcheckstat diagnostics_dropped " << report.diagnostics_dropped << "\n";
+  // Explicit truncation marker: nonzero means the kMaxDiagnostics retention
+  // cap dropped materialized diagnostics (counts stay exact). `pmctl check`
+  // warns on it so a capped run is never read as clean-and-complete.
+  out << "pmcheckstat diagnostics_truncated " << report.diagnostics_truncated << "\n";
   for (int c = 0; c < pmsim::kNumPmCheckClasses; c++) {
     out << "pmcheckclass " << pmsim::PmCheckClassName(static_cast<pmsim::PmCheckClass>(c))
         << " " << report.counts[static_cast<size_t>(c)] << " "
@@ -174,6 +177,42 @@ bool AppendPmCheckSection(const std::string& path, const pmsim::PmCheckReport& r
       out << "pmcheckev " << pmsim::PmCheckEventKindName(ev.kind) << " "
           << trace::ComponentName(ev.comp) << " " << ev.worker << " " << ev.detail << " "
           << ev.fence_epoch << "\n";
+    }
+  }
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+bool AppendLockCheckSection(const std::string& path, const pmsim::LockCheckReport& report) {
+  if (!report.enabled) {
+    return true;  // nothing to append; `pmctl locks` reports not-enabled
+  }
+  std::ofstream out(path, std::ios::app);
+  if (!out) {
+    return false;
+  }
+  out << "lockcheck 1\n";
+  out << "lockcheckstat locks_tracked " << report.locks_tracked << "\n";
+  out << "lockcheckstat lines_tracked " << report.lines_tracked << "\n";
+  out << "lockcheckstat order_edges " << report.order_edges << "\n";
+  out << "lockcheckstat seq_read_sections " << report.seq_read_sections << "\n";
+  out << "lockcheckstat seq_validate_failures " << report.seq_validate_failures << "\n";
+  out << "lockcheckstat diagnostics_truncated " << report.diagnostics_truncated << "\n";
+  for (int c = 0; c < pmsim::kNumLockCheckClasses; c++) {
+    out << "lockcheckclass "
+        << pmsim::LockCheckClassName(static_cast<pmsim::LockCheckClass>(c)) << " "
+        << report.counts[static_cast<size_t>(c)] << " "
+        << report.suppressed[static_cast<size_t>(c)] << " "
+        << report.info[static_cast<size_t>(c)] << "\n";
+  }
+  for (const pmsim::LockCheckDiagnostic& d : report.diagnostics) {
+    out << (d.info ? "lockcheckinfo " : "lockcheckdiag ") << pmsim::LockCheckClassName(d.cls)
+        << " " << d.line << " " << trace::ComponentName(d.comp) << " " << d.worker << " "
+        << d.lock << " " << d.lock2 << " " << d.detail << "\n";
+    for (const pmsim::LockCheckEvent& ev : d.recent) {
+      out << "lockcheckev " << pmsim::LockCheckEventKindName(ev.kind) << " "
+          << trace::ComponentName(ev.comp) << " " << ev.worker << " "
+          << (ev.lock[0] == '\0' ? "-" : ev.lock) << " " << ev.detail << "\n";
     }
   }
   out.flush();

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/kvindex/runtime.h"
+#include "src/pmsim/lockcheck.h"
 #include "src/pmsim/pmcheck.h"
 #include "src/pmsim/stats.h"
 
@@ -50,6 +51,12 @@ std::string WriteTraceDump(kvindex::Runtime& runtime, const std::string& label,
 // class is included; older pmctl builds skip the unknown keywords. Returns
 // false if the dump cannot be written.
 bool AppendPmCheckSection(const std::string& path, const pmsim::PmCheckReport& report);
+
+// Appends the lockcheck section (lockcheck/lockcheckstat/lockcheckclass/
+// lockcheckdiag/lockcheckev keyword lines, consumed by `pmctl locks`) to an
+// already-written dump. Same versioned-keyword contract as the pmcheck
+// section. Returns false if the dump cannot be written.
+bool AppendLockCheckSection(const std::string& path, const pmsim::LockCheckReport& report);
 
 }  // namespace cclbt::bench
 

@@ -13,8 +13,8 @@
 #include <atomic>
 #include <cstdint>
 #include <new>
-#include <thread>
 
+#include "src/common/lock.h"
 #include "src/core/leaf_node.h"
 
 namespace cclbt::core {
@@ -38,43 +38,16 @@ class BufferNode {
   // even version, read optimistically, and revalidate. The PM leaf shares
   // this lock ("the leaf nodes share the version number of their
   // corresponding buffer nodes").
-  bool TryLock() {
-    uint64_t v = version_.load(std::memory_order_acquire);
-    if ((v & 1) != 0) {
-      return false;
-    }
-    return version_.compare_exchange_weak(v, v + 1, std::memory_order_acquire);
-  }
-  void Lock() {
-    // Short PAUSE phase first: per-node conflicts are usually a few hundred
-    // cycles long, and an immediate yield costs a syscall on every conflict
-    // at low thread counts. Benches oversubscribe OS threads, so after the
-    // pause budget a preempted lock holder still gets the CPU via yield.
-    for (int spins = 0; !TryLock(); spins++) {
-      if (spins < kSpinsBeforeYield) {
-        simd::CpuRelax();
-      } else {
-        std::this_thread::yield();
-      }
-    }
-  }
-  void Unlock() { version_.fetch_add(1, std::memory_order_release); }
+  bool TryLock() TRY_ACQUIRE(version_) { return version_.TryLock(); }
+  void Lock() ACQUIRE(version_) { version_.Lock(); }
+  void Unlock() RELEASE(version_) { version_.Unlock(); }
 
-  uint64_t ReadBegin() const {
-    uint64_t v;
-    for (int spins = 0; ((v = version_.load(std::memory_order_acquire)) & 1) != 0; spins++) {
-      if (spins < kSpinsBeforeYield) {
-        simd::CpuRelax();
-      } else {
-        std::this_thread::yield();
-      }
-    }
-    return v;
-  }
-  bool ReadValidate(uint64_t snapshot) const {
-    std::atomic_thread_fence(std::memory_order_acquire);
-    return version_.load(std::memory_order_acquire) == snapshot;
-  }
+  uint64_t ReadBegin() const { return version_.ReadBegin(); }
+  bool ReadValidate(uint64_t snapshot) const { return version_.ReadValidate(snapshot); }
+
+  // The underlying capability, for REQUIRES(bn->version_lock()) annotations
+  // on helpers that mutate the node/leaf under the writer latch.
+  sync::SeqLock& version_lock() const RETURN_CAPABILITY(version_) { return version_; }
 
   // --- fields ---------------------------------------------------------------
   PmLeaf* leaf() const { return leaf_; }
@@ -125,9 +98,9 @@ class BufferNode {
   static uint64_t PackedBytes(int nbatch) { return 8 + 16 * static_cast<uint64_t>(nbatch); }
 
  private:
-  static constexpr int kSpinsBeforeYield = 64;
-
-  std::atomic<uint64_t> version_{0};
+  // Shared with the PM leaf; slots_ stay optimistically readable, so they are
+  // deliberately not GUARDED_BY (see the SeqLock contract in common/lock.h).
+  mutable sync::SeqLock version_{"bn.version"};
   PmLeaf* leaf_;
   int nbatch_;
   uint64_t sep_ = 0;

@@ -12,6 +12,7 @@
 #include "src/common/simd.h"
 #include "src/metrics/metrics.h"
 #include "src/pmsim/crash_injector.h"
+#include "src/pmsim/lockcheck.h"
 #include "src/pmsim/pmcheck.h"
 #include "src/trace/trace.h"
 
@@ -148,7 +149,7 @@ bool CclBTree::Recover(kvindex::Runtime& runtime, int recovery_threads) {
 
 CclBTree::~CclBTree() {
   StopBackgroundGc();
-  std::lock_guard<std::mutex> guard(all_bns_mu_);
+  sync::LockGuard<sync::Mutex> guard(all_bns_mu_);
   for (BufferNode* bn : all_bns_) {
     BufferNode::Delete(bn);
   }
@@ -165,7 +166,7 @@ BufferNode* CclBTree::NewBufferNode(PmLeaf* leaf, uint64_t sep, uint64_t recover
   bn->set_sep(sep);
   bn->set_recovery_orig_ts(recovery_ts);
   {
-    std::lock_guard<std::mutex> guard(all_bns_mu_);
+    sync::LockGuard<sync::Mutex> guard(all_bns_mu_);
     all_bns_.push_back(bn);
   }
   live_bn_count_.fetch_add(1, std::memory_order_relaxed);
@@ -207,7 +208,7 @@ BufferNode* CclBTree::RouteAndLock(uint64_t key) {
 void CclBTree::Upsert(uint64_t key, uint64_t value) {
   assert(key != 0 && "key 0 is reserved for the head sentinel separator");
   if (options_.gc_mode == GcMode::kNaive) {
-    std::shared_lock<std::shared_mutex> gate(naive_gate_);
+    sync::SharedLockGuard<sync::SharedMutex> gate(naive_gate_);
     UpsertInternal(key, value);
   } else {
     UpsertInternal(key, value);
@@ -868,7 +869,7 @@ void CclBTree::InitGc() {
 
 void CclBTree::StopBackgroundGc() {
   {
-    std::lock_guard<std::mutex> guard(gc_cv_mu_);
+    sync::LockGuard<sync::Mutex> guard(gc_cv_mu_);
     stop_gc_.store(true, std::memory_order_release);
   }
   gc_cv_.notify_all();
@@ -884,14 +885,14 @@ void CclBTree::NotifyGcThreadIfTriggered() {
   // The empty critical section pairs with the predicate re-check inside
   // GcThreadBody's wait: either the waiter sees the trigger, or it is parked
   // inside wait() when this notify lands — no lost wakeup either way.
-  { std::lock_guard<std::mutex> guard(gc_cv_mu_); }
+  { sync::LockGuard<sync::Mutex> guard(gc_cv_mu_); }
   gc_cv_.notify_one();
 }
 
 void CclBTree::GcThreadBody() {
   pmsim::ThreadContext gc_ctx(rt_.device(), /*socket=*/0,
                               /*worker_id=*/options_.max_workers - 1);
-  std::unique_lock<std::mutex> lock(gc_cv_mu_);
+  std::unique_lock<sync::Mutex> lock(gc_cv_mu_);
   while (!stop_gc_.load(std::memory_order_acquire)) {
     gc_cv_.wait(lock, [this] {
       return stop_gc_.load(std::memory_order_acquire) || GcTriggerReached();
@@ -909,8 +910,8 @@ bool CclBTree::GcTick() {
   if (gc_ctx_ == nullptr || options_.gc_mode == GcMode::kNone || !GcTriggerReached()) {
     return false;
   }
-  std::unique_lock<std::mutex> tick(gc_tick_mu_, std::try_to_lock);
-  if (!tick.owns_lock()) {
+  sync::TryLockGuard<sync::Mutex> tick(gc_tick_mu_);
+  if (!tick.owns()) {
     return false;  // another worker is mid-round; it covers this trigger
   }
   if (!GcTriggerReached()) {
@@ -937,7 +938,7 @@ bool CclBTree::GcTick() {
 }
 
 std::vector<CclBTree::GcFenceWindow> CclBTree::gc_fence_windows() const {
-  std::lock_guard<std::mutex> guard(gc_windows_mu_);
+  sync::LockGuard<sync::Mutex> guard(gc_windows_mu_);
   return gc_fence_windows_;
 }
 
@@ -982,7 +983,7 @@ void CclBTree::RunGcOnce() {
   if (injector != nullptr) {
     uint64_t last_fence = injector->fences_observed();
     if (last_fence >= first_fence) {
-      std::lock_guard<std::mutex> guard(gc_windows_mu_);
+      sync::LockGuard<sync::Mutex> guard(gc_windows_mu_);
       gc_fence_windows_.push_back({first_fence, last_fence});
     }
   }
@@ -1002,7 +1003,7 @@ void CclBTree::NaiveGc() {
   // Paper §3.4 "Naive GC": stop foreground buffering/logging with a global
   // lock, flush every buffer node's pending KVs to its (random) leaf, then
   // recycle all log chunks.
-  std::unique_lock<std::shared_mutex> gate(naive_gate_);
+  sync::LockGuard<sync::SharedMutex> gate(naive_gate_);
   for (BufferNode* bn : CollectBufferNodes()) {
     bn->Lock();
     if (!bn->dead() && bn->pos() > 0) {
@@ -1149,7 +1150,7 @@ void CclBTree::ReplayLogs(int threads) {
   log_arena_->ForEachChunk([&chunks](void* mem) { chunks.push_back(static_cast<std::byte*>(mem)); });
 
   auto buckets = std::vector<std::vector<LogEntry>>(static_cast<size_t>(threads));
-  std::mutex buckets_mu;
+  sync::Mutex buckets_mu{"tree.replay_buckets"};
 
   auto record_vtime = [this](const pmsim::ThreadContext& ctx) {
     uint64_t now = ctx.now_ns();
@@ -1160,6 +1161,9 @@ void CclBTree::ReplayLogs(int threads) {
   };
   auto scan_worker = [&](int worker) {
     pmsim::ThreadContext ctx(rt_.device(), rt_.SocketForWorker(worker), worker);
+    // Lockless reads of the pre-crash workers' chunks; replay ordering comes
+    // from timestamps, not locks (same exemption as WalSet::ScanAll).
+    pmsim::LockCheckExpect scan_expect(pmsim::LockCheckClass::kLocksetEmpty);
     std::vector<std::vector<LogEntry>> local(static_cast<size_t>(threads));
     for (size_t c = static_cast<size_t>(worker); c < chunks.size();
          c += static_cast<size_t>(threads)) {
@@ -1183,7 +1187,7 @@ void CclBTree::ReplayLogs(int threads) {
       pmsim::ReadPm(entries, (consumed + 1) * sizeof(LogEntry));
     }
     {
-      std::lock_guard<std::mutex> guard(buckets_mu);
+      sync::LockGuard<sync::Mutex> guard(buckets_mu);
       for (int b = 0; b < threads; b++) {
         auto& bucket = buckets[static_cast<size_t>(b)];
         bucket.insert(bucket.end(), local[static_cast<size_t>(b)].begin(),
@@ -1236,7 +1240,10 @@ void CclBTree::ReplayLogs(int threads) {
     }
   }
 
-  // Phase 3: every log chunk is now dead — reclaim them all.
+  // Phase 3: every log chunk is now dead — reclaim them all. The free-marker
+  // writes land in headers the pre-crash workers wrote; recovery owns the
+  // whole image, which lockcheck cannot express as a lock.
+  pmsim::LockCheckExpect reclaim_expect(pmsim::LockCheckClass::kUnlockedWrite);
   log_arena_->ResetVolatile();
   log_arena_->ForEachChunk([this](void* mem) {
     auto* header = reinterpret_cast<LogChunkHeader*>(mem);

@@ -13,11 +13,10 @@
 #include <atomic>
 #include <condition_variable>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <thread>
 #include <vector>
 
+#include "src/common/lock.h"
 #include "src/core/buffer_node.h"
 #include "src/core/leaf_node.h"
 #include "src/core/options.h"
@@ -197,12 +196,12 @@ class CclBTree : public kvindex::KvIndex {
 
   std::atomic<uint32_t> global_epoch_{0};
   // Gate used only by the naive GC baseline: upserts shared, GC exclusive.
-  std::shared_mutex naive_gate_;
+  sync::SharedMutex naive_gate_{"tree.naive_gate"};
 
   // All buffer nodes ever created (owned; freed in the destructor — dead
   // nodes stay allocated so optimistic readers never touch freed memory).
-  mutable std::mutex all_bns_mu_;
-  std::vector<BufferNode*> all_bns_;
+  mutable sync::Mutex all_bns_mu_{"tree.all_bns"};
+  std::vector<BufferNode*> all_bns_ GUARDED_BY(all_bns_mu_);
   std::atomic<uint64_t> live_bn_count_{0};
 
   std::atomic<uint64_t> dram_hits_{0};
@@ -219,17 +218,18 @@ class CclBTree : public kvindex::KvIndex {
   // Deterministic scheduling: the tree-owned context all GC PM traffic is
   // charged to (fig14's GC cost model), serialized by gc_tick_mu_.
   std::unique_ptr<pmsim::ThreadContext> gc_ctx_;
-  std::mutex gc_tick_mu_;
+  sync::Mutex gc_tick_mu_{"tree.gc_tick"};
   // Upserts since creation; every gc_quantum_ops-th one checks the trigger.
   std::atomic<uint64_t> gc_op_counter_{0};
   // Completed GC rounds as fence-count windows; recorded only while a crash
   // injector is installed (crash-matrix runs), so the hot path never locks.
-  mutable std::mutex gc_windows_mu_;
-  std::vector<GcFenceWindow> gc_fence_windows_;
+  mutable sync::Mutex gc_windows_mu_{"tree.gc_windows"};
+  std::vector<GcFenceWindow> gc_fence_windows_ GUARDED_BY(gc_windows_mu_);
   // Legacy kOsThread scheduling: trigger-signalled worker (no timed polling).
   std::atomic<bool> stop_gc_{false};
-  std::mutex gc_cv_mu_;
-  std::condition_variable gc_cv_;
+  sync::Mutex gc_cv_mu_{"tree.gc_cv"};
+  // _any: sync::Mutex is BasicLockable but is not std::mutex.
+  std::condition_variable_any gc_cv_;
   std::thread gc_thread_;
 };
 

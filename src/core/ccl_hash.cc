@@ -5,6 +5,7 @@
 #include <cstring>
 #include <unordered_set>
 
+#include "src/pmsim/lockcheck.h"
 #include "src/pmsim/pmcheck.h"
 
 namespace cclbt::core {
@@ -387,7 +388,9 @@ void CclHashTable::ReplayLogs() {
     kvindex::KeyValue kv{entry.key, entry.value};
     BatchInsertBucket(bn, &kv, 1, entry.timestamp(), /*update_ts=*/false);
   }
-  // All chunks are dead after replay.
+  // All chunks are dead after replay. Recovery owns the image; the
+  // free-marker writes into pre-crash workers' headers are not lock-protected.
+  pmsim::LockCheckExpect reclaim_expect(pmsim::LockCheckClass::kUnlockedWrite);
   log_arena_->ResetVolatile();
   log_arena_->ForEachChunk([this](void* mem) {
     auto* header = reinterpret_cast<LogChunkHeader*>(mem);

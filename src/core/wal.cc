@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "src/metrics/metrics.h"
+#include "src/pmsim/lockcheck.h"
 #include "src/pmsim/pmcheck.h"
 #include "src/trace/trace.h"
 
@@ -97,6 +98,12 @@ uint64_t ThreadWal::ReleaseEpoch(int epoch) {
   trace::TraceScope scope(WalComponent());
   pmsim::ThreadContext* ctx = pmsim::ThreadContext::Current();
   assert(ctx != nullptr);
+  // The GC context writes the free marker into headers that foreground
+  // workers wrote at activation. The epoch protocol synchronizes this (no
+  // appends land in the old epoch once every bn latch has cycled after the
+  // flip), but lockcheck cannot see epochs — only locks — so the second-party
+  // header write would read as an unlocked write.
+  pmsim::LockCheckExpect release_expect(pmsim::LockCheckClass::kUnlockedWrite);
   for (std::byte* base : chunks_[epoch]) {
     auto* header = reinterpret_cast<LogChunkHeader*>(base);
     header->state = kChunkFree;
@@ -142,6 +149,11 @@ void WalSet::ReleaseEpoch(int epoch) {
 }
 
 void WalSet::ScanAll(pmem::LogArena& arena, const std::function<void(const LogEntry&)>& fn) {
+  // Recovery reads every worker's chunks with no lock; the pre-crash owners
+  // are gone and replay order is fixed by timestamps, not locks. Without the
+  // scope these reads would demote still-live lines out of their
+  // single-writer exemption and later owner writes would intersect to empty.
+  pmsim::LockCheckExpect scan_expect(pmsim::LockCheckClass::kLocksetEmpty);
   arena.ForEachChunk([&fn](void* mem) {
     auto* base = static_cast<std::byte*>(mem);
     const auto* header = reinterpret_cast<const LogChunkHeader*>(base);

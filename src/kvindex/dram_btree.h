@@ -28,10 +28,9 @@
 #include <atomic>
 #include <cassert>
 #include <cstdint>
-#include <mutex>
-#include <shared_mutex>
 #include <vector>
 
+#include "src/common/lock.h"
 #include "src/common/simd.h"
 
 namespace cclbt::kvindex {
@@ -67,14 +66,14 @@ class DramBTree {
   // Inserts separator `key` -> `value`. Keys are unique; inserting an
   // existing key overwrites its payload.
   void Insert(uint64_t key, V value) {
-    std::unique_lock<std::shared_mutex> guard(mu_);
+    sync::LockGuard<sync::SharedMutex> guard(mu_);
     WriterSection section(this);
     InsertLocked(key, value);
   }
 
   // Removes a separator. Returns false if absent.
   bool Remove(uint64_t key) {
-    std::unique_lock<std::shared_mutex> guard(mu_);
+    sync::LockGuard<sync::SharedMutex> guard(mu_);
     WriterSection section(this);
     return RemoveLocked(key);
   }
@@ -171,7 +170,7 @@ class DramBTree {
   // NextEntry stepping instead.
   template <typename Fn>
   void ForEachFrom(uint64_t start_key, Fn&& fn) const {
-    std::shared_lock<std::shared_mutex> guard(mu_);
+    sync::SharedLockGuard<sync::SharedMutex> guard(mu_);
     const LeafNode* leaf;
     int pos;
     if (!FloorPosLocked(start_key, &leaf, &pos)) {
@@ -196,12 +195,12 @@ class DramBTree {
 
   // Approximate DRAM footprint (nodes only).
   uint64_t MemoryBytes() const {
-    std::shared_lock<std::shared_mutex> guard(mu_);
+    sync::SharedLockGuard<sync::SharedMutex> guard(mu_);
     return inner_count_ * sizeof(InnerNode) + leaf_count_ * sizeof(LeafNode);
   }
 
   int height() const {
-    std::shared_lock<std::shared_mutex> guard(mu_);
+    sync::SharedLockGuard<sync::SharedMutex> guard(mu_);
     int h = 1;
     const Node* node = root_.load(std::memory_order_acquire);
     while (!node->is_leaf) {
@@ -246,20 +245,15 @@ class DramBTree {
   static_assert(std::atomic<V>::is_always_lock_free, "payloads must be lock-free atomics");
 
   // Writers already hold mu_ exclusively; the version bump makes them
-  // visible to optimistic readers. Entry: version goes odd, release fence
-  // orders the bump before any mutation a reader might observe. Exit: data
-  // stores are ordered before the even store by its release.
-  struct WriterSection {
-    explicit WriterSection(DramBTree* tree) : tree_(tree) {
-      uint64_t v = tree_->version_.load(std::memory_order_relaxed);
-      tree_->version_.store(v + 1, std::memory_order_relaxed);
-      std::atomic_thread_fence(std::memory_order_release);
+  // visible to optimistic readers (SeqLock's externally-serialized writer
+  // side: WriteBegin makes the version odd with a release fence before any
+  // mutation, WriteEnd's release store publishes the mutations).
+  struct SCOPED_CAPABILITY WriterSection {
+    explicit WriterSection(DramBTree* tree) ACQUIRE(tree->version_) : lock_(tree->version_) {
+      lock_.WriteBegin();
     }
-    ~WriterSection() {
-      uint64_t v = tree_->version_.load(std::memory_order_relaxed);
-      tree_->version_.store(v + 1, std::memory_order_release);
-    }
-    DramBTree* tree_;
+    ~WriterSection() RELEASE() { lock_.WriteEnd(); }
+    sync::SeqLock& lock_;
   };
 
   // Runs `body` optimistically: body returns false if it hit a torn read
@@ -271,18 +265,20 @@ class DramBTree {
   void ReadSnapshot(Body&& body) const {
     if (!locked_reads_.load(std::memory_order_relaxed)) {
       for (int attempt = 0; attempt < kOptimisticAttempts; attempt++) {
-        uint64_t v = version_.load(std::memory_order_acquire);
+        uint64_t v = version_.ReadBeginNoWait();
         if ((v & 1) == 0) {
           bool complete = body();
-          std::atomic_thread_fence(std::memory_order_acquire);
-          if (complete && version_.load(std::memory_order_relaxed) == v) {
+          // Retire the section unconditionally: every even snapshot opened a
+          // read section and owes the observer exactly one validate.
+          bool unchanged = version_.ReadValidate(v);
+          if (complete && unchanged) {
             return;
           }
         }
         simd::CpuRelax();
       }
     }
-    std::shared_lock<std::shared_mutex> guard(mu_);
+    sync::SharedLockGuard<sync::SharedMutex> guard(mu_);
     bool complete = body();
     assert(complete);
     (void)complete;
@@ -602,9 +598,12 @@ class DramBTree {
     return true;
   }
 
-  mutable std::shared_mutex mu_;
-  mutable std::atomic<uint64_t> version_{0};
+  mutable sync::SharedMutex mu_{"inner.mu"};
+  mutable sync::SeqLock version_{"inner.seq"};
   std::atomic<bool> locked_reads_{false};
+  // Node fields and the bookkeeping below are read by optimistic descents
+  // (and written once in the constructor), so they stay un-GUARDED_BY — the
+  // seqlock validate, not the lock discipline, is what makes reads sound.
   std::atomic<Node*> root_{nullptr};
   std::atomic<size_t> size_{0};
   uint64_t inner_count_ = 0;

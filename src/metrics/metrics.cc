@@ -1,8 +1,9 @@
 #include "src/metrics/metrics.h"
 
 #include <memory>
-#include <mutex>
 #include <vector>
+
+#include "src/common/lock.h"
 
 namespace cclbt::metrics {
 
@@ -18,9 +19,9 @@ namespace {
 // free list and is handed to the next new thread — its counts are retained,
 // so totals are conserved across worker lifecycles.
 struct Registry {
-  std::mutex mu;
-  std::vector<std::unique_ptr<MetricsShard>> shards;
-  std::vector<MetricsShard*> free_list;
+  sync::Mutex mu{"metrics.registry"};
+  std::vector<std::unique_ptr<MetricsShard>> shards GUARDED_BY(mu);
+  std::vector<MetricsShard*> free_list GUARDED_BY(mu);
 };
 
 Registry& TheRegistry() {
@@ -37,7 +38,7 @@ struct ShardReleaser {
       return;
     }
     Registry& r = TheRegistry();
-    std::lock_guard<std::mutex> guard(r.mu);
+    sync::LockGuard<sync::Mutex> guard(r.mu);
     r.free_list.push_back(shard);
   }
 };
@@ -49,7 +50,7 @@ MetricsShard* AcquireShard() {
   Registry& r = TheRegistry();
   MetricsShard* shard = nullptr;
   {
-    std::lock_guard<std::mutex> guard(r.mu);
+    sync::LockGuard<sync::Mutex> guard(r.mu);
     if (!r.free_list.empty()) {
       shard = r.free_list.back();
       r.free_list.pop_back();
@@ -99,7 +100,7 @@ void SetEnabled(bool on) { detail::g_enabled.store(on, std::memory_order_relaxed
 MetricsSnapshot Snapshot() {
   auto& r = detail::TheRegistry();
   MetricsSnapshot s;
-  std::lock_guard<std::mutex> guard(r.mu);
+  sync::LockGuard<sync::Mutex> guard(r.mu);
   for (const auto& shard : r.shards) {
     for (int c = 0; c < kNumCounters; c++) {
       s.counters[c] += shard->counters[c].load(std::memory_order_relaxed);
@@ -114,7 +115,7 @@ MetricsSnapshot Snapshot() {
 
 void Reset() {
   auto& r = detail::TheRegistry();
-  std::lock_guard<std::mutex> guard(r.mu);
+  sync::LockGuard<sync::Mutex> guard(r.mu);
   for (const auto& shard : r.shards) {
     for (int c = 0; c < kNumCounters; c++) {
       shard->counters[c].store(0, std::memory_order_relaxed);
@@ -128,7 +129,7 @@ void Reset() {
 
 size_t NumShards() {
   auto& r = detail::TheRegistry();
-  std::lock_guard<std::mutex> guard(r.mu);
+  sync::LockGuard<sync::Mutex> guard(r.mu);
   return r.shards.size();
 }
 

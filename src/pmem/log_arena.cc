@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "src/pmsim/lockcheck.h"
 #include "src/pmsim/pmcheck.h"
 #include "src/trace/trace.h"
 
@@ -33,10 +34,13 @@ std::unique_ptr<LogArena> LogArena::Open(PmPool& pool, uint64_t registry_offset,
 
 void* LogArena::AllocChunk(int socket) {
   trace::TraceScope scope(trace::Component::kAllocMeta);
-  std::lock_guard<std::mutex> guard(mu_);
+  sync::LockGuard<sync::Mutex> guard(mu_);
   if (!free_list_.empty()) {
     void* chunk = free_list_.back();
     free_list_.pop_back();
+    // Ownership transfer: the recycled chunk's lines may still carry the
+    // previous owner's lockset; the new WAL protects them with its own lock.
+    pmsim::LockCheckResetRange(chunk, kLogChunkBytes);
     return chunk;
   }
   if (registry_->chunk_count >= max_chunks_) {
@@ -55,7 +59,7 @@ void* LogArena::AllocChunk(int socket) {
 }
 
 void LogArena::FreeChunk(void* chunk) {
-  std::lock_guard<std::mutex> guard(mu_);
+  sync::LockGuard<sync::Mutex> guard(mu_);
   free_list_.push_back(chunk);
 }
 
@@ -66,12 +70,12 @@ void LogArena::ForEachChunk(const std::function<void(void*)>& fn) const {
 }
 
 void LogArena::ResetVolatile() {
-  std::lock_guard<std::mutex> guard(mu_);
+  sync::LockGuard<sync::Mutex> guard(mu_);
   free_list_.clear();
 }
 
 uint64_t LogArena::free_chunks() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  sync::LockGuard<sync::Mutex> guard(mu_);
   return free_list_.size();
 }
 

@@ -14,9 +14,9 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "src/common/lock.h"
 #include "src/pmem/pool.h"
 
 namespace cclbt::pmem {
@@ -62,8 +62,8 @@ class LogArena {
   size_t max_chunks_;
   Registry* registry_ = nullptr;
 
-  mutable std::mutex mu_;
-  std::vector<void*> free_list_;
+  mutable sync::Mutex mu_{"pmem.log_arena"};
+  std::vector<void*> free_list_ GUARDED_BY(mu_);
 };
 
 }  // namespace cclbt::pmem

@@ -116,7 +116,7 @@ void* PmPool::AllocateRaw(size_t bytes, int socket, pmsim::StreamTag tag) {
   trace::TraceScope scope(trace::Component::kAllocMeta);
   assert(socket >= 0 && socket < device_->config().num_sockets);
   bytes = AlignUp(bytes, kAllocAlign);
-  std::lock_guard<std::mutex> guard(mu_);
+  sync::LockGuard<sync::Mutex> guard(mu_);
   PoolRoot* header = root();
   uint64_t offset = header->bump_offset[socket];
   uint64_t region_end =

@@ -11,9 +11,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "src/common/lock.h"
 #include "src/pmsim/device.h"
 
 namespace cclbt::pmem {
@@ -95,7 +95,9 @@ class PmPool {
   PoolRoot* root() const { return reinterpret_cast<PoolRoot*>(device_->base()); }
 
   pmsim::PmDevice* device_;
-  std::mutex mu_;
+  // Serializes bump-pointer advances; the superblock fields it covers live in
+  // PM (reached via root()), so there is no GUARDED_BY-able member here.
+  sync::Mutex mu_{"pmem.pool"};
 };
 
 }  // namespace cclbt::pmem

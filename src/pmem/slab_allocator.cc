@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "src/pmsim/lockcheck.h"
 #include "src/pmsim/pmcheck.h"
 #include "src/trace/trace.h"
 
@@ -37,7 +38,7 @@ std::unique_ptr<SlabAllocator> SlabAllocator::Open(PmPool& pool, uint64_t regist
   return slab;
 }
 
-bool SlabAllocator::GrowLocked(int socket) {
+bool SlabAllocator::GrowLocked(int socket, SocketState& state) {
   trace::TraceScope scope(trace::Component::kAllocMeta);
   if (registry_->chunk_count >= options_.max_chunks) {
     return false;
@@ -58,7 +59,6 @@ bool SlabAllocator::GrowLocked(int socket) {
   pmsim::Persist(&registry_->chunk_count, sizeof(uint64_t));
 
   auto* base = reinterpret_cast<std::byte*>(chunk);
-  auto& state = *sockets_[static_cast<size_t>(socket)];
   for (size_t i = 0; i < options_.slots_per_chunk; i++) {
     state.free_slots.push_back(base + i * options_.slot_bytes);
   }
@@ -67,27 +67,30 @@ bool SlabAllocator::GrowLocked(int socket) {
 
 void* SlabAllocator::Allocate(int socket) {
   auto& state = *sockets_[static_cast<size_t>(socket)];
-  std::lock_guard<std::mutex> guard(state.mu);
-  if (state.free_slots.empty() && !GrowLocked(socket)) {
+  sync::LockGuard<sync::Mutex> guard(state.mu);
+  if (state.free_slots.empty() && !GrowLocked(socket, state)) {
     return nullptr;
   }
   void* slot = state.free_slots.back();
   state.free_slots.pop_back();
   allocated_slots_.fetch_add(1, std::memory_order_relaxed);
+  // Ownership transfer: a recycled slot's lines may still carry the previous
+  // owner's lockset; the new owner protects them with its own latch.
+  pmsim::LockCheckResetRange(slot, options_.slot_bytes);
   return slot;
 }
 
 void SlabAllocator::Free(void* slot) {
   int socket = pool_->device().SocketOf(pool_->ToOffset(slot));
   auto& state = *sockets_[static_cast<size_t>(socket)];
-  std::lock_guard<std::mutex> guard(state.mu);
+  sync::LockGuard<sync::Mutex> guard(state.mu);
   state.free_slots.push_back(slot);
   allocated_slots_.fetch_sub(1, std::memory_order_relaxed);
 }
 
 void SlabAllocator::Recover(const std::function<bool(const void*)>& is_live) {
   for (auto& state : sockets_) {
-    std::lock_guard<std::mutex> guard(state->mu);
+    sync::LockGuard<sync::Mutex> guard(state->mu);
     state->free_slots.clear();
   }
   allocated_slots_.store(0, std::memory_order_relaxed);
@@ -95,7 +98,7 @@ void SlabAllocator::Recover(const std::function<bool(const void*)>& is_live) {
     auto* base = reinterpret_cast<std::byte*>(pool_->ToAddr(registry_->chunk_offsets[c]));
     int socket = pool_->device().SocketOf(registry_->chunk_offsets[c]);
     auto& state = *sockets_[static_cast<size_t>(socket)];
-    std::lock_guard<std::mutex> guard(state.mu);
+    sync::LockGuard<sync::Mutex> guard(state.mu);
     for (size_t i = 0; i < options_.slots_per_chunk; i++) {
       void* slot = base + i * options_.slot_bytes;
       if (is_live(slot)) {

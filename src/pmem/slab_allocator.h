@@ -16,9 +16,9 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "src/common/lock.h"
 #include "src/pmem/pool.h"
 
 namespace cclbt::pmem {
@@ -68,16 +68,19 @@ class SlabAllocator {
 
   SlabAllocator(PmPool& pool, const Options& options);
 
-  bool GrowLocked(int socket);
+  struct SocketState {
+    // All socket free lists share one lock name: they are instances of the
+    // same role, and sibling sockets are never held together.
+    sync::Mutex mu{"pmem.slab"};
+    std::vector<void*> free_slots GUARDED_BY(mu);
+  };
+
+  bool GrowLocked(int socket, SocketState& state) REQUIRES(state.mu);
 
   PmPool* pool_;
   Options options_;
   Registry* registry_ = nullptr;
 
-  struct SocketState {
-    std::mutex mu;
-    std::vector<void*> free_slots;
-  };
   std::vector<std::unique_ptr<SocketState>> sockets_;
   // Which socket each chunk was carved for (parallel to registry entries);
   // rebuilt on Open from the chunk address itself.

@@ -15,7 +15,7 @@ ValueStore::ValueStore(PmPool& pool, uint64_t carried_leaked_bytes)
 }
 
 uint64_t ValueStore::unused_reserved_bytes() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  sync::LockGuard<sync::Mutex> guard(mu_);
   uint64_t unused = 0;
   for (size_t s = 0; s < region_cursor_.size(); s++) {
     if (region_cursor_[s] != nullptr) {
@@ -30,7 +30,7 @@ uint64_t ValueStore::Append(std::span<const std::byte> data, int socket) {
   size_t need = sizeof(Blob) + data.size();
   // Round to 8 B so headers stay aligned.
   need = (need + 7) & ~size_t{7};
-  std::lock_guard<std::mutex> guard(mu_);
+  sync::LockGuard<sync::Mutex> guard(mu_);
   auto idx = static_cast<size_t>(socket);
   if (region_cursor_[idx] == nullptr ||
       region_cursor_[idx] + need > region_end_[idx]) {

@@ -7,10 +7,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
+#include "src/common/lock.h"
 #include "src/pmem/pool.h"
 
 namespace cclbt::pmem {
@@ -61,9 +61,11 @@ class ValueStore {
   static constexpr size_t kRegionBytes = 1 << 20;
 
   PmPool* pool_;
-  mutable std::mutex mu_;
-  std::vector<std::byte*> region_cursor_;  // per socket: next free byte
-  std::vector<std::byte*> region_end_;
+  mutable sync::Mutex mu_{"pmem.vstore"};
+  std::vector<std::byte*> region_cursor_ GUARDED_BY(mu_);  // per socket: next free byte
+  std::vector<std::byte*> region_end_ GUARDED_BY(mu_);
+  // Written under mu_; read racily by the metrics gauge (monotone counter,
+  // staleness is acceptable), so deliberately not GUARDED_BY.
   uint64_t allocated_bytes_ = 0;
   uint64_t leaked_bytes_ = 0;
 };

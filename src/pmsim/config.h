@@ -127,6 +127,13 @@ struct DeviceConfig {
   // real violation on ADR but informational on eADR, where flushes are free.
   // Diagnostics never touch virtual time.
   bool pmcheck = false;
+  // Enable lockcheck, the locking-discipline checker (DESIGN.md §16): Eraser
+  // lockset analysis over PM cachelines, lock-order cycle detection, and the
+  // fence-publish cross-check against pmcheck. The CCL_LOCKCHECK environment
+  // variable overrides this at device construction ("1" forces on, "0"
+  // forces off). Independent of pmcheck (the cross-check simply degrades to
+  // informational without it). Diagnostics never touch virtual time.
+  bool lockcheck = false;
   CostParams cost;
 
   int total_dimms() const { return num_sockets * dimms_per_socket; }

@@ -8,6 +8,7 @@
 #include <cstring>
 
 #include "src/common/rng.h"
+#include "src/pmsim/lockcheck.h"
 #include "src/pmsim/media_model.h"
 #include "src/pmsim/pmcheck.h"
 #include "src/trace/event.h"
@@ -73,6 +74,17 @@ ThreadContext::~ThreadContext() {
   if (tl_current_context == this) {
     tl_current_context = previous_;
     BindTraceFor(previous_);
+  } else {
+    // Out-of-order teardown (e.g. a service destroying its shard contexts in
+    // creation order): splice this context out of the calling thread's
+    // previous_ chain so a later destruction of the current context cannot
+    // restore a pointer to freed memory.
+    for (ThreadContext* c = tl_current_context; c != nullptr; c = c->previous_) {
+      if (c->previous_ == this) {
+        c->previous_ = previous_;
+        break;
+      }
+    }
   }
 }
 
@@ -149,6 +161,14 @@ PmDevice::PmDevice(const DeviceConfig& config)
   if (config_.pmcheck) {
     pmcheck_ = std::make_unique<PmCheck>(*this);
   }
+  // Lockcheck resolves after pmcheck: its fence cross-check reads pmcheck's
+  // shadow state when both are on, but neither requires the other.
+  if (const char* env = std::getenv("CCL_LOCKCHECK"); env != nullptr && env[0] != '\0') {
+    config_.lockcheck = env[0] == '1';
+  }
+  if (config_.lockcheck) {
+    lockcheck_ = std::make_unique<LockCheck>(*this);
+  }
 }
 
 PmDevice::~PmDevice() {
@@ -194,6 +214,9 @@ void PmDevice::FlushLine(ThreadContext& ctx, const void* addr) {
     if (pmcheck_ != nullptr) {
       pmcheck_->OnFlushFree(ctx, line);
     }
+    if (lockcheck_ != nullptr) {
+      lockcheck_->OnPmWrite(ctx, line);
+    }
     if (shadow_.data != nullptr) {
       std::memcpy(shadow_.get() + line, pool_.get() + line, kCachelineBytes);
     }
@@ -209,6 +232,11 @@ void PmDevice::FlushLine(ThreadContext& ctx, const void* addr) {
   const bool newly_pending = ctx.AddPendingLine(line);
   if (pmcheck_ != nullptr) {
     pmcheck_->OnFlush(ctx, line, newly_pending);
+  }
+  if (lockcheck_ != nullptr) {
+    // A flush is the commitment that the line was stored: lockcheck treats it
+    // as the write event for the Eraser lockset state machine.
+    lockcheck_->OnPmWrite(ctx, line);
   }
 }
 
@@ -242,6 +270,12 @@ void PmDevice::Fence(ThreadContext& ctx) {
   // lines of the scope that issued it, and scopes cannot change mid-fence.
   const trace::Component comp = trace::CurrentComponent();
   ctx.stats_shard().AddCommittedLines(comp, ctx.pending_lines_.size());
+  if (lockcheck_ != nullptr) {
+    // Publish-window check (class 5) before the commit loop: is every
+    // pending line's protecting lock still held at the fence that publishes
+    // it? Cross-checks pmcheck's redirty detection when both are enabled.
+    lockcheck_->OnFencePending(ctx, ctx.pending_lines_, comp, check);
+  }
   // Likewise the trace gate: one read per fence picks the commit-loop
   // instantiation, so the disabled loop carries no tracing (or checking)
   // instructions.
@@ -319,7 +353,7 @@ void PmDevice::PushThroughXpBuffer(ThreadContext& ctx, uintptr_t line_offset,
   XpBufferResult result;
   uint64_t lag = 0;
   {
-    std::lock_guard<XpBufferLock> guard(buffer.mutex());
+    sync::LockGuard<XpBufferLock> guard(buffer.mutex());
     result = buffer.OnLineFlushLocked(UnitOf(line_offset), LineInUnit(line_offset),
                                       TagOf(line_offset), comp);
     if (result.evicted) {
@@ -389,6 +423,9 @@ void PmDevice::ReadPm(ThreadContext& ctx, const void* addr, size_t len) {
   if (pmcheck_ != nullptr) {
     pmcheck_->OnReadRange(ctx, OffsetOf(addr), len);
   }
+  if (lockcheck_ != nullptr) {
+    lockcheck_->OnPmRead(ctx, OffsetOf(addr), len);
+  }
   size_t unit = config_.xpline_bytes;
   uintptr_t start = UnitOf(OffsetOf(addr));
   uintptr_t end = UnitOf(OffsetOf(addr) + len + unit - 1);
@@ -401,7 +438,7 @@ void PmDevice::ReadPm(ThreadContext& ctx, const void* addr, size_t len) {
     bool hit;
     uint64_t lag = 0;
     {
-      std::lock_guard<XpBufferLock> guard(buffer.mutex());
+      sync::LockGuard<XpBufferLock> guard(buffer.mutex());
       hit = buffer.OnReadLocked(xpline);
       if (!hit) {
         // Read misses occupy the DIMM's media server: the read completes no
@@ -471,13 +508,16 @@ void PmDevice::Crash() {
     // the shadow by design, not by an ordering bug.
     pmcheck_->OnCrash((injector_ != nullptr && injector_->fired()) || !durable_at_commit_);
   }
+  if (lockcheck_ != nullptr) {
+    lockcheck_->OnCrash();
+  }
   // Backend-owned crash window: a volatile CXL buffer loses its staged
   // (acked!) lines; eADR's modeled cache just goes cold (content already
   // durable, so it reports 0).
   uint64_t volatile_lines_lost = media_->DropVolatileOnCrash();
   uint64_t lines_dropped = 0;
   {
-    std::lock_guard<std::mutex> guard(contexts_mu_);
+    sync::LockGuard<sync::Mutex> guard(contexts_mu_);
     for (ThreadContext* ctx : contexts_) {
       lines_dropped += ctx->pending_lines_.size();
       ctx->ClearPending();
@@ -497,12 +537,15 @@ void PmDevice::CrashTorn(uint64_t seed) {
   if (pmcheck_ != nullptr) {
     pmcheck_->OnCrash((injector_ != nullptr && injector_->fired()) || !durable_at_commit_);
   }
+  if (lockcheck_ != nullptr) {
+    lockcheck_->OnCrash();
+  }
   uint64_t volatile_lines_lost = media_->DropVolatileOnCrash();
   Rng rng(seed);
   uint64_t lines_dropped = 0;
   uint64_t torn_lines_applied = 0;
   {
-    std::lock_guard<std::mutex> guard(contexts_mu_);
+    sync::LockGuard<sync::Mutex> guard(contexts_mu_);
     for (ThreadContext* ctx : contexts_) {
       for (uintptr_t line : ctx->pending_lines_) {
         if ((rng.Next() & 1) != 0) {
@@ -525,7 +568,7 @@ void PmDevice::CrashTorn(uint64_t seed) {
 uint64_t PmDevice::MaxDimmBusyNs() const {
   uint64_t max_busy = 0;
   for (size_t dimm = 0; dimm < dimm_busy_until_ns_.size(); dimm++) {
-    std::lock_guard<XpBufferLock> guard(xpbuffers_[dimm]->mutex());
+    sync::LockGuard<XpBufferLock> guard(xpbuffers_[dimm]->mutex());
     max_busy = std::max(max_busy, dimm_busy_until_ns_[dimm].busy_until_ns);
   }
   return max_busy;
@@ -543,7 +586,7 @@ PmDevice::XpBufferTotals PmDevice::SampleXpBuffers() const {
 
 uint64_t PmDevice::MaxContextClockNs() const {
   uint64_t frontier = 0;
-  std::lock_guard<std::mutex> guard(contexts_mu_);
+  sync::LockGuard<sync::Mutex> guard(contexts_mu_);
   for (const ThreadContext* ctx : contexts_) {
     frontier = std::max(frontier, ctx->now_ns());
   }
@@ -551,7 +594,7 @@ uint64_t PmDevice::MaxContextClockNs() const {
 }
 
 void PmDevice::RaiseContextClocks(uint64_t to_ns) {
-  std::lock_guard<std::mutex> guard(contexts_mu_);
+  sync::LockGuard<sync::Mutex> guard(contexts_mu_);
   for (ThreadContext* ctx : contexts_) {
     if (ctx->now_ns() < to_ns) {
       ctx->ResetClock(to_ns);
@@ -561,7 +604,7 @@ void PmDevice::RaiseContextClocks(uint64_t to_ns) {
 
 void PmDevice::ResetCosts() {
   for (size_t dimm = 0; dimm < dimm_busy_until_ns_.size(); dimm++) {
-    std::lock_guard<XpBufferLock> guard(xpbuffers_[dimm]->mutex());
+    sync::LockGuard<XpBufferLock> guard(xpbuffers_[dimm]->mutex());
     dimm_busy_until_ns_[dimm].busy_until_ns = 0;
   }
   // The heatmap is performance accounting too: start each measured phase
@@ -573,7 +616,7 @@ void PmDevice::ResetCosts() {
   // (background threads like a GC worker would otherwise re-enter with a
   // clock far ahead of fresh bench workers and stall them behind phantom
   // queueing).
-  std::lock_guard<std::mutex> guard(contexts_mu_);
+  sync::LockGuard<sync::Mutex> guard(contexts_mu_);
   for (ThreadContext* ctx : contexts_) {
     ctx->ResetClock(0);
   }
@@ -581,16 +624,30 @@ void PmDevice::ResetCosts() {
 
 void PmDevice::RegisterContext(ThreadContext* ctx) {
   stats_.RegisterShard(&ctx->stats_shard());
-  std::lock_guard<std::mutex> guard(contexts_mu_);
-  contexts_.push_back(ctx);
+  size_t live;
+  {
+    sync::LockGuard<sync::Mutex> guard(contexts_mu_);
+    contexts_.push_back(ctx);
+    live = contexts_.size();
+  }
+  if (lockcheck_ != nullptr) {
+    lockcheck_->OnContextCount(live);
+  }
 }
 
 void PmDevice::UnregisterContext(ThreadContext* ctx) {
   // Folds the context's counter shard into the base so its contribution
   // outlives it.
   stats_.UnregisterShard(&ctx->stats_shard());
-  std::lock_guard<std::mutex> guard(contexts_mu_);
-  contexts_.erase(std::remove(contexts_.begin(), contexts_.end(), ctx), contexts_.end());
+  size_t live;
+  {
+    sync::LockGuard<sync::Mutex> guard(contexts_mu_);
+    contexts_.erase(std::remove(contexts_.begin(), contexts_.end(), ctx), contexts_.end());
+    live = contexts_.size();
+  }
+  if (lockcheck_ != nullptr) {
+    lockcheck_->OnContextCount(live);
+  }
 }
 
 void FlushLine(const void* addr) {

@@ -28,9 +28,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "src/common/lock.h"
 #include "src/pmsim/config.h"
 #include "src/pmsim/crash_injector.h"
 #include "src/pmsim/stats.h"
@@ -39,6 +39,7 @@
 
 namespace cclbt::pmsim {
 
+class LockCheck;
 class MediaModel;
 class PmCheck;
 
@@ -133,6 +134,12 @@ class PmDevice {
   // nullptr otherwise. The pointer doubles as the runtime gate: the fence
   // path reads it once per fence (same pattern as the crash injector).
   PmCheck* pmcheck() const { return pmcheck_.get(); }
+
+  // The locking-discipline checker (DESIGN.md §16), present only when enabled
+  // via DeviceConfig::lockcheck or CCL_LOCKCHECK=1 at construction; nullptr
+  // otherwise. Same gate pattern as pmcheck: one pointer test per
+  // flush/fence/read on the disabled path, zero virtual-time writes either way.
+  LockCheck* lockcheck() const { return lockcheck_.get(); }
 
   // The persistence-domain backend (DESIGN.md §14), never null. The resolved
   // backend kind is also visible as config().backend.
@@ -258,7 +265,8 @@ class PmDevice {
   Mapping shadow_;
   Stats stats_;
   CrashInjector* injector_ = nullptr;
-  std::unique_ptr<PmCheck> pmcheck_;  // persistency checker; null = disabled
+  std::unique_ptr<PmCheck> pmcheck_;      // persistency checker; null = disabled
+  std::unique_ptr<LockCheck> lockcheck_;  // locking checker; null = disabled
   std::vector<std::unique_ptr<XpBuffer>> xpbuffers_;  // one per DIMM
   // One virtual write-server timeline per DIMM, cacheline-padded against
   // false sharing and stored contiguously. Plain (non-atomic) because every
@@ -276,8 +284,8 @@ class PmDevice {
   static constexpr size_t kTagPageBytes = 4096;
   std::unique_ptr<std::atomic<uint8_t>[]> page_tags_;
 
-  mutable std::mutex contexts_mu_;
-  std::vector<ThreadContext*> contexts_;
+  mutable sync::Mutex contexts_mu_{"pm.contexts"};
+  std::vector<ThreadContext*> contexts_ GUARDED_BY(contexts_mu_);
 
   // The persistence-domain backend (media_model.h); constructed before the
   // checker so pmcheck can copy its rule table.

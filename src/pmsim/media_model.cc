@@ -100,7 +100,7 @@ PmCheckAction EadrModel::check_action(PmCheckClass cls) const {
 }
 
 void EadrModel::AbsorbFlushFree(ThreadContext& ctx, uintptr_t line_offset) {
-  std::lock_guard<XpBufferLock> guard(mu_);
+  sync::LockGuard<XpBufferLock> guard(mu_);
   lines_[size_++] = line_offset;
   while (size_ > capacity_) {
     // Implicit eviction picks an arbitrary dirty line: locality a program had
@@ -116,7 +116,7 @@ void EadrModel::AbsorbFlushFree(ThreadContext& ctx, uintptr_t line_offset) {
 }
 
 void EadrModel::DrainResidual() {
-  std::lock_guard<XpBufferLock> guard(mu_);
+  sync::LockGuard<XpBufferLock> guard(mu_);
   ThreadContext* ctx = ThreadContext::Current();
   for (size_t i = 0; i < size_; i++) {
     if (ctx != nullptr) {
@@ -136,13 +136,13 @@ uint64_t EadrModel::DropVolatileOnCrash() {
   // already in the shadow image, so nothing is lost — the reboot just starts
   // with a cold cache (and, like the XPBuffer drain at crash, generates no
   // media accounting).
-  std::lock_guard<XpBufferLock> guard(mu_);
+  sync::LockGuard<XpBufferLock> guard(mu_);
   size_ = 0;
   return 0;
 }
 
 uint64_t EadrModel::ResidentLines() const {
-  std::lock_guard<XpBufferLock> guard(mu_);
+  sync::LockGuard<XpBufferLock> guard(mu_);
   return size_;
 }
 
@@ -163,12 +163,12 @@ void CxlMemModel::StageCommittedLine(uintptr_t line_offset) {
   // image may hold newer, not-yet-committed bytes.
   LineImage image;
   std::memcpy(image.bytes, Pool(device_) + line_offset, kCachelineBytes);
-  std::lock_guard<XpBufferLock> guard(mu_);
+  sync::LockGuard<XpBufferLock> guard(mu_);
   staged_[line_offset] = image;
 }
 
 void CxlMemModel::CommitStagedUnit(uint64_t unit) {
-  std::lock_guard<XpBufferLock> guard(mu_);
+  sync::LockGuard<XpBufferLock> guard(mu_);
   if (staged_.empty()) {
     return;
   }
@@ -183,7 +183,7 @@ void CxlMemModel::CommitStagedUnit(uint64_t unit) {
 }
 
 void CxlMemModel::CommitAllStaged() {
-  std::lock_guard<XpBufferLock> guard(mu_);
+  sync::LockGuard<XpBufferLock> guard(mu_);
   for (const auto& [line, image] : staged_) {
     CommitLineToShadowLocked(line, image);
   }
@@ -191,14 +191,14 @@ void CxlMemModel::CommitAllStaged() {
 }
 
 uint64_t CxlMemModel::DropVolatileOnCrash() {
-  std::lock_guard<XpBufferLock> guard(mu_);
+  sync::LockGuard<XpBufferLock> guard(mu_);
   uint64_t lost = staged_.size();
   staged_.clear();
   return lost;
 }
 
 uint64_t CxlMemModel::ResidentLines() const {
-  std::lock_guard<XpBufferLock> guard(mu_);
+  sync::LockGuard<XpBufferLock> guard(mu_);
   return staged_.size();
 }
 

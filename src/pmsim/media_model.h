@@ -158,10 +158,10 @@ class EadrModel final : public MediaModel {
   // modeled cache bit-for-bit). Preallocated: AbsorbFlushFree is
   // allocation-free. capacity_ + 1 slots: the insert lands before the
   // while-loop evicts back down to capacity.
-  std::unique_ptr<uintptr_t[]> lines_;
-  size_t size_ = 0;
-  mutable XpBufferLock mu_;
-  Rng rng_{0xeadcac4eULL};
+  mutable XpBufferLock mu_{"pm.eadr_cache"};
+  std::unique_ptr<uintptr_t[]> lines_ PT_GUARDED_BY(mu_);
+  size_t size_ GUARDED_BY(mu_) = 0;
+  Rng rng_ GUARDED_BY(mu_){0xeadcac4eULL};
 };
 
 // CXL memory-semantic device: page-granular combining buffer; optionally
@@ -184,15 +184,15 @@ class CxlMemModel final : public MediaModel {
     std::byte bytes[kCachelineBytes];
   };
 
-  void CommitLineToShadowLocked(uintptr_t line_offset, const LineImage& image);
+  void CommitLineToShadowLocked(uintptr_t line_offset, const LineImage& image) REQUIRES(mu_);
 
   PmDevice& device_;
   const size_t unit_bytes_;
   const bool volatile_buffer_;
-  mutable XpBufferLock mu_;
+  mutable XpBufferLock mu_{"pm.cxl_staged"};
   // line offset -> content captured at fence commit. Only populated in
   // volatile mode; bounded by the combining buffer's line capacity.
-  std::unordered_map<uint64_t, LineImage> staged_;
+  std::unordered_map<uint64_t, LineImage> staged_ GUARDED_BY(mu_);
 };
 
 // Backend factory for a resolved config (ResolveMediaBackend already ran).

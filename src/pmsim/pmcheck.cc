@@ -107,7 +107,7 @@ void PmCheck::DiagLocked(PmCheckClass cls, uint64_t line, trace::Component comp,
   } else {
     counts_[static_cast<int>(cls)]++;
     if (diagnostics_.size() - info_materialized_ >= kMaxDiagnostics) {
-      diagnostics_dropped_++;
+      diagnostics_truncated_++;
       return;
     }
   }
@@ -134,7 +134,7 @@ void PmCheck::DiagLocked(PmCheckClass cls, uint64_t line, trace::Component comp,
 void PmCheck::OnFlush(const ThreadContext& ctx, uintptr_t line, bool newly_pending) {
   const trace::Component comp = trace::CurrentComponent();
   const auto worker = static_cast<uint16_t>(ctx.worker_id());
-  std::lock_guard<std::mutex> guard(mu_);
+  std::lock_guard<CheckerMutex> guard(mu_);
   AppendEventLocked(PmCheckEvent::Kind::kFlush, comp, worker, line);
   const uint64_t hash = HashLine(pool_ + line);
   LineRecord& rec = lines_[line];
@@ -163,7 +163,7 @@ void PmCheck::OnFlush(const ThreadContext& ctx, uintptr_t line, bool newly_pendi
 void PmCheck::OnUselessFence(const ThreadContext& ctx) {
   const trace::Component comp = trace::CurrentComponent();
   const auto worker = static_cast<uint16_t>(ctx.worker_id());
-  std::lock_guard<std::mutex> guard(mu_);
+  std::lock_guard<CheckerMutex> guard(mu_);
   fence_epochs_++;
   AppendEventLocked(PmCheckEvent::Kind::kFence, comp, worker, 0);
   DiagLocked(PmCheckClass::kUselessFence, 0, comp, worker, "fence_with_no_pending_lines");
@@ -172,7 +172,7 @@ void PmCheck::OnUselessFence(const ThreadContext& ctx) {
 void PmCheck::OnFlushFree(const ThreadContext& ctx, uintptr_t line) {
   const trace::Component comp = trace::CurrentComponent();
   const auto worker = static_cast<uint16_t>(ctx.worker_id());
-  std::lock_guard<std::mutex> guard(mu_);
+  std::lock_guard<CheckerMutex> guard(mu_);
   AppendEventLocked(PmCheckEvent::Kind::kFlush, comp, worker, line);
   // Called before the device syncs the shadow copy, so a clean line here
   // means the flush persists nothing on *any* backend.
@@ -194,7 +194,7 @@ void PmCheck::OnFlushFree(const ThreadContext& ctx, uintptr_t line) {
 void PmCheck::OnFenceFree(const ThreadContext& ctx) {
   const trace::Component comp = trace::CurrentComponent();
   const auto worker = static_cast<uint16_t>(ctx.worker_id());
-  std::lock_guard<std::mutex> guard(mu_);
+  std::lock_guard<CheckerMutex> guard(mu_);
   fence_epochs_++;
   AppendEventLocked(PmCheckEvent::Kind::kFence, comp, worker, 0);
   DiagLocked(PmCheckClass::kUselessFence, 0, comp, worker, "fence_in_flush_free_domain");
@@ -203,7 +203,7 @@ void PmCheck::OnFenceFree(const ThreadContext& ctx) {
 void PmCheck::OnFenceCommit(const ThreadContext& ctx, const std::vector<uintptr_t>& pending,
                             trace::Component comp) {
   const auto worker = static_cast<uint16_t>(ctx.worker_id());
-  std::lock_guard<std::mutex> guard(mu_);
+  std::lock_guard<CheckerMutex> guard(mu_);
   fence_epochs_++;
   AppendEventLocked(PmCheckEvent::Kind::kFence, comp, worker, pending.size());
   for (uintptr_t line : pending) {
@@ -225,7 +225,7 @@ void PmCheck::OnReadRange(const ThreadContext& ctx, uintptr_t offset, size_t len
   const trace::Component comp = trace::CurrentComponent();
   const auto worker = static_cast<uint16_t>(ctx.worker_id());
   const uintptr_t first = offset & ~(kCachelineBytes - 1);
-  std::lock_guard<std::mutex> guard(mu_);
+  std::lock_guard<CheckerMutex> guard(mu_);
   AppendEventLocked(PmCheckEvent::Kind::kRead, comp, worker, first);
   for (uintptr_t line = first; line < offset + len; line += kCachelineBytes) {
     auto it = lines_.find(line);
@@ -264,7 +264,7 @@ void PmCheck::ScanUnflushedLocked(const char* detail_unflushed, const char* deta
 }
 
 void PmCheck::OnCrash(bool injected) {
-  std::lock_guard<std::mutex> guard(mu_);
+  std::lock_guard<CheckerMutex> guard(mu_);
   AppendEventLocked(PmCheckEvent::Kind::kCrash, trace::Component::kOther, 0, injected ? 1 : 0);
   if (!injected) {
     // A crash nobody scheduled: whatever is still dirty is data loss the
@@ -278,14 +278,23 @@ void PmCheck::OnCrash(bool injected) {
 }
 
 void PmCheck::OnClose() {
-  std::lock_guard<std::mutex> guard(mu_);
+  std::lock_guard<CheckerMutex> guard(mu_);
   AppendEventLocked(PmCheckEvent::Kind::kClose, trace::Component::kOther, 0, 0);
   ScanUnflushedLocked("line_stored_but_never_flushed_at_close",
                       "line_flushed_but_never_fenced_at_close");
 }
 
+bool PmCheck::LineRedirtiedSinceFlush(uintptr_t line) const {
+  std::lock_guard<CheckerMutex> guard(mu_);
+  auto it = lines_.find(line);
+  if (it == lines_.end() || !it->second.pending) {
+    return false;
+  }
+  return HashLine(pool_ + line) != it->second.flush_hash;
+}
+
 PmCheckReport PmCheck::Snapshot() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  std::lock_guard<CheckerMutex> guard(mu_);
   PmCheckReport report;
   report.enabled = true;
   report.counts = counts_;
@@ -293,7 +302,7 @@ PmCheckReport PmCheck::Snapshot() const {
   report.info = info_counts_;
   report.fence_epochs = fence_epochs_;
   report.lines_tracked = lines_.size();
-  report.diagnostics_dropped = diagnostics_dropped_;
+  report.diagnostics_truncated = diagnostics_truncated_;
   report.diagnostics = diagnostics_;
   return report;
 }

@@ -141,8 +141,10 @@ struct PmCheckReport {
   std::array<uint64_t, kNumPmCheckClasses> info{};
   uint64_t fence_epochs = 0;
   uint64_t lines_tracked = 0;
-  // Diagnostics beyond the retention cap are counted but not materialized.
-  uint64_t diagnostics_dropped = 0;
+  // Diagnostics beyond the retention cap are counted but not materialized;
+  // a nonzero value means the list below is incomplete (never read a capped
+  // run as clean — the counts above stay exact).
+  uint64_t diagnostics_truncated = 0;
   std::vector<PmCheckDiagnostic> diagnostics;
 
   // Unsuppressed violations (what `pmctl check` gates its exit status on).
@@ -230,6 +232,13 @@ class PmCheck {
   // report each dirty line once.
   void OnClose();
 
+  // True iff `line` (line-aligned pool offset) is flush-pending and its
+  // working-image content no longer matches what the flush captured — i.e. a
+  // fence right now would be class 3. Lockcheck's fence-publish cross-check
+  // (DESIGN.md §16) queries this to decide whether an unprotected publish
+  // window was actually written into. Takes mu_; callers must not hold it.
+  bool LineRedirtiedSinceFlush(uintptr_t line) const;
+
   PmCheckReport Snapshot() const;
 
  private:
@@ -273,13 +282,17 @@ class PmCheck {
   // plain array load).
   std::array<PmCheckAction, kNumPmCheckClasses> actions_{};
 
-  mutable std::mutex mu_;
+  // Checker-internal serialization stays a raw std::mutex: a sync::Mutex
+  // would report its own acquires to the lockcheck observer, making checker
+  // bookkeeping visible to the checkers themselves.
+  using CheckerMutex = std::mutex;  // lint_pm_api: allow
+  mutable CheckerMutex mu_;
   std::unordered_map<uint64_t, LineRecord> lines_;
   uint64_t fence_epochs_ = 0;
   std::array<uint64_t, kNumPmCheckClasses> counts_{};
   std::array<uint64_t, kNumPmCheckClasses> suppressed_{};
   std::array<uint64_t, kNumPmCheckClasses> info_counts_{};
-  uint64_t diagnostics_dropped_ = 0;
+  uint64_t diagnostics_truncated_ = 0;
   size_t info_materialized_ = 0;
   std::vector<PmCheckDiagnostic> diagnostics_;
   std::array<PmCheckEvent, kEventRing> events_{};

@@ -27,9 +27,9 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
+#include "src/common/lock.h"
 #include "src/pmsim/config.h"
 #include "src/trace/component.h"
 
@@ -241,7 +241,7 @@ class Stats {
 
   // Registers a live single-writer shard to be included in Snapshot().
   void RegisterShard(StatsShard* shard) {
-    std::lock_guard<std::mutex> guard(shards_mu_);
+    sync::LockGuard<sync::Mutex> guard(shards_mu_);
     shards_.push_back(shard);
   }
 
@@ -251,7 +251,7 @@ class Stats {
     StatsSnapshot totals;
     shard->AccumulateInto(totals);
     shard->StoreZero();
-    std::lock_guard<std::mutex> guard(shards_mu_);
+    sync::LockGuard<sync::Mutex> guard(shards_mu_);
     for (size_t i = 0; i < shards_.size(); i++) {
       if (shards_[i] == shard) {
         shards_[i] = shards_.back();
@@ -264,7 +264,7 @@ class Stats {
 
   // Base + all live shards. Exact when quiesced (see file header).
   StatsSnapshot Snapshot() const {
-    std::lock_guard<std::mutex> guard(shards_mu_);
+    sync::LockGuard<sync::Mutex> guard(shards_mu_);
     StatsSnapshot s;
     base_.AccumulateInto(s);
     for (const StatsShard* shard : shards_) {
@@ -277,7 +277,7 @@ class Stats {
   // quiesce workers first for exact semantics (a racing worker's concurrent
   // increments may be lost, but no torn/undefined values can result).
   void Reset() {
-    std::lock_guard<std::mutex> guard(shards_mu_);
+    sync::LockGuard<sync::Mutex> guard(shards_mu_);
     base_.StoreZero();
     for (StatsShard* shard : shards_) {
       shard->StoreZero();
@@ -286,8 +286,8 @@ class Stats {
 
  private:
   StatsShard base_;
-  mutable std::mutex shards_mu_;
-  std::vector<StatsShard*> shards_;
+  mutable sync::Mutex shards_mu_{"pm.stats_shards"};
+  std::vector<StatsShard*> shards_ GUARDED_BY(shards_mu_);
 };
 
 }  // namespace cclbt::pmsim

@@ -20,40 +20,23 @@
 #ifndef SRC_PMSIM_XPBUFFER_H_
 #define SRC_PMSIM_XPBUFFER_H_
 
-#include <atomic>
 #include <cassert>
 #include <cstdint>
-#include <mutex>
-#include <thread>
 #include <vector>
 
+#include "src/common/lock.h"
 #include "src/pmsim/config.h"
 #include "src/trace/component.h"
 
 namespace cclbt::pmsim {
 
-// Tiny test-and-test-and-set spinlock guarding one DIMM's buffer. Critical
+// The per-DIMM buffer lock: a test-and-test-and-set spinlock (critical
 // sections are a few dozen nanoseconds and per-DIMM sharding keeps real
-// contention low, so the uncontended exchange beats a std::mutex; under
-// contention it backs off to yield instead of burning the core.
-class XpBufferLock {
- public:
-  void lock() {
-    int spins = 0;
-    while (locked_.exchange(true, std::memory_order_acquire)) {
-      do {
-        if (++spins > 256) {
-          std::this_thread::yield();
-          spins = 0;
-        }
-      } while (locked_.load(std::memory_order_relaxed));
-    }
-  }
-  void unlock() { locked_.store(false, std::memory_order_release); }
-
- private:
-  std::atomic<bool> locked_{false};
-};
+// contention low, so the uncontended exchange beats a std::mutex). The
+// annotated wrapper in src/common/lock.h carries the exact TTAS body this
+// used to hand-roll, plus the capability annotations and lockcheck
+// observer hook.
+using XpBufferLock = sync::TtasSpinLock;
 
 // Result of pushing one cacheline into the buffer.
 struct XpBufferResult {
@@ -89,18 +72,19 @@ class XpBuffer {
   // The per-DIMM lock, exposed so the device can piggyback its DIMM
   // write-server clock update on the buffer's critical section (one lock
   // round-trip per committed line instead of lock + separate CAS).
-  XpBufferLock& mutex() const { return mu_; }
+  XpBufferLock& mutex() const RETURN_CAPABILITY(mu_) { return mu_; }
   // Variants for callers already holding mutex().
   XpBufferResult OnLineFlushLocked(uint64_t xpline, int line_in_xpline, StreamTag tag,
-                                   trace::Component comp = trace::Component::kOther);
-  bool OnReadLocked(uint64_t xpline);
+                                   trace::Component comp = trace::Component::kOther)
+      REQUIRES(mu_);
+  bool OnReadLocked(uint64_t xpline) REQUIRES(mu_);
 
   // Evict everything (e.g. end-of-run accounting). Calls
   // `sink(rmw, tag, comp, xpline)` per evicted XPLine. Drained lines do not
   // count toward evictions().
   template <typename Sink>
   void Drain(Sink&& sink) {
-    std::lock_guard<XpBufferLock> guard(mu_);
+    sync::LockGuard<XpBufferLock> guard(mu_);
     for (int32_t s = lru_head_; s != kNil; s = slots_[static_cast<size_t>(s)].next) {
       const Slot& slot = slots_[static_cast<size_t>(s)];
       sink(slot.dirty_mask != full_mask_, slot.tag, slot.comp, slot.xpline);
@@ -109,7 +93,7 @@ class XpBuffer {
   }
 
   size_t resident() const {
-    std::lock_guard<XpBufferLock> guard(mu_);
+    sync::LockGuard<XpBufferLock> guard(mu_);
     return size_;
   }
 
@@ -118,11 +102,11 @@ class XpBuffer {
   // insertions() == evictions() + resident() (modulo Drain(), which resets
   // the buffer without counting evictions).
   uint64_t insertions() const {
-    std::lock_guard<XpBufferLock> guard(mu_);
+    sync::LockGuard<XpBufferLock> guard(mu_);
     return insertions_;
   }
   uint64_t evictions() const {
-    std::lock_guard<XpBufferLock> guard(mu_);
+    sync::LockGuard<XpBufferLock> guard(mu_);
     return evictions_;
   }
 
@@ -156,7 +140,7 @@ class XpBuffer {
   }
 
   // Returns the slot index holding `xpline`, or kNil on a miss.
-  int32_t Find(uint64_t xpline) const {
+  int32_t Find(uint64_t xpline) const REQUIRES(mu_) {
     size_t i = Home(xpline);
     while (table_[i].slot != kNil) {
       if (table_[i].xpline == xpline) {
@@ -170,7 +154,7 @@ class XpBuffer {
   // Backward-shift deletion at table position `idx` (keeps probe chains
   // intact without tombstones). Knuth Algorithm R: shift later chain members
   // back into the hole so every key stays reachable from its home position.
-  void TableEraseAt(size_t idx) {
+  void TableEraseAt(size_t idx) REQUIRES(mu_) {
     size_t hole = idx;
     size_t j = idx;
     table_[hole].slot = kNil;
@@ -191,7 +175,7 @@ class XpBuffer {
     }
   }
 
-  void LruUnlink(int32_t s) {
+  void LruUnlink(int32_t s) REQUIRES(mu_) {
     Slot& slot = slots_[static_cast<size_t>(s)];
     if (slot.prev != kNil) {
       slots_[static_cast<size_t>(slot.prev)].next = slot.next;
@@ -205,7 +189,7 @@ class XpBuffer {
     }
   }
 
-  void LruPushFront(int32_t s) {
+  void LruPushFront(int32_t s) REQUIRES(mu_) {
     Slot& slot = slots_[static_cast<size_t>(s)];
     slot.prev = kNil;
     slot.next = lru_head_;
@@ -218,33 +202,33 @@ class XpBuffer {
     }
   }
 
-  void LruMoveToFront(int32_t s) {
+  void LruMoveToFront(int32_t s) REQUIRES(mu_) {
     if (lru_head_ != s) {
       LruUnlink(s);
       LruPushFront(s);
     }
   }
 
-  void ResetLocked();
+  void ResetLocked() REQUIRES(mu_);
 
   const size_t capacity_;
   const uint64_t full_mask_;
   size_t table_mask_ = 0;  // table_.size() - 1
 
-  mutable XpBufferLock mu_;
-  size_t size_ = 0;
-  int32_t lru_head_ = kNil;
-  int32_t lru_tail_ = kNil;
-  int32_t free_head_ = kNil;
-  uint64_t insertions_ = 0;
-  uint64_t evictions_ = 0;
-  std::vector<Slot> slots_;        // capacity_ entries, preallocated
-  std::vector<TableEntry> table_;  // open-addressing index into slots_
+  mutable XpBufferLock mu_{"pm.xpbuffer"};
+  size_t size_ GUARDED_BY(mu_) = 0;
+  int32_t lru_head_ GUARDED_BY(mu_) = kNil;
+  int32_t lru_tail_ GUARDED_BY(mu_) = kNil;
+  int32_t free_head_ GUARDED_BY(mu_) = kNil;
+  uint64_t insertions_ GUARDED_BY(mu_) = 0;
+  uint64_t evictions_ GUARDED_BY(mu_) = 0;
+  std::vector<Slot> slots_ GUARDED_BY(mu_);   // capacity_ entries, preallocated
+  std::vector<TableEntry> table_ GUARDED_BY(mu_);  // open-addressing index into slots_
 };
 
 inline XpBufferResult XpBuffer::OnLineFlush(uint64_t xpline, int line_in_xpline, StreamTag tag,
                                             trace::Component comp) {
-  std::lock_guard<XpBufferLock> guard(mu_);
+  sync::LockGuard<XpBufferLock> guard(mu_);
   return OnLineFlushLocked(xpline, line_in_xpline, tag, comp);
 }
 
@@ -296,7 +280,7 @@ inline XpBufferResult XpBuffer::OnLineFlushLocked(uint64_t xpline, int line_in_x
 }
 
 inline bool XpBuffer::OnRead(uint64_t xpline) {
-  std::lock_guard<XpBufferLock> guard(mu_);
+  sync::LockGuard<XpBufferLock> guard(mu_);
   return OnReadLocked(xpline);
 }
 

@@ -86,8 +86,8 @@ struct RingEntry {
 };
 
 struct Registry {
-  std::mutex mu;
-  std::vector<RingEntry> entries;
+  sync::Mutex mu{"trace.registry"};
+  std::vector<RingEntry> entries GUARDED_BY(mu);
 };
 
 Registry& GetRegistry() {
@@ -101,7 +101,7 @@ TraceRing* AcquireRing(int worker_id, int socket) {
   auto ring = std::make_unique<TraceRing>(RingCapacity());
   TraceRing* raw = ring.get();
   Registry& reg = GetRegistry();
-  std::lock_guard<std::mutex> guard(reg.mu);
+  sync::LockGuard<sync::Mutex> guard(reg.mu);
   reg.entries.push_back(RingEntry{worker_id, socket, true, std::move(ring)});
   return raw;
 }
@@ -111,7 +111,7 @@ void ReleaseRing(TraceRing* ring) {
     return;
   }
   Registry& reg = GetRegistry();
-  std::lock_guard<std::mutex> guard(reg.mu);
+  sync::LockGuard<sync::Mutex> guard(reg.mu);
   for (RingEntry& entry : reg.entries) {
     if (entry.ring.get() == ring) {
       entry.live = false;
@@ -122,7 +122,7 @@ void ReleaseRing(TraceRing* ring) {
 
 std::vector<NamedRing> CollectRings() {
   Registry& reg = GetRegistry();
-  std::lock_guard<std::mutex> guard(reg.mu);
+  sync::LockGuard<sync::Mutex> guard(reg.mu);
   std::vector<NamedRing> out;
   out.reserve(reg.entries.size());
   for (const RingEntry& entry : reg.entries) {
@@ -138,7 +138,7 @@ std::vector<NamedRing> CollectRings() {
 
 void ClearRings() {
   Registry& reg = GetRegistry();
-  std::lock_guard<std::mutex> guard(reg.mu);
+  sync::LockGuard<sync::Mutex> guard(reg.mu);
   std::vector<RingEntry> kept;
   for (RingEntry& entry : reg.entries) {
     if (entry.live) {

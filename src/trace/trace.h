@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "src/trace/component.h"
+#include "src/common/lock.h"
 #include "src/trace/event.h"
 
 namespace cclbt::trace {
@@ -43,19 +44,9 @@ namespace cclbt::trace {
 // spinlock that is only ever touched when tracing is enabled.
 // ---------------------------------------------------------------------------
 
-class RingLock {
- public:
-  void lock() {
-    while (locked_.exchange(true, std::memory_order_acquire)) {
-      while (locked_.load(std::memory_order_relaxed)) {
-      }
-    }
-  }
-  void unlock() { locked_.store(false, std::memory_order_release); }
-
- private:
-  std::atomic<bool> locked_{false};
-};
+// The annotated TTAS wrapper from src/common/lock.h; reports into lockcheck
+// like every other lock in the tree.
+using RingLock = sync::TtasSpinLock;
 
 class TraceRing {
  public:
@@ -90,7 +81,7 @@ class TraceRing {
   size_t capacity() const { return buf_.size(); }
 
  private:
-  mutable RingLock lock_;
+  mutable RingLock lock_{"trace.ring"};
   uint64_t seq_ = 0;  // total events ever emitted; next write slot = seq_ & mask_
   size_t mask_;
   std::vector<TraceEvent> buf_;

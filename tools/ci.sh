@@ -6,11 +6,17 @@
 #   2. tier-1: -Werror build + full ctest (the gate every change must pass)
 #   3. clang-tidy: static analysis build with .clang-tidy (skipped with a
 #      notice when clang-tidy is not installed)
+#   3b. thread-safety: clang -Wthread-safety -Werror build of the annotated
+#      sync:: lock layer (DESIGN.md §16; skipped with a notice when clang++
+#      is not installed — the annotations expand to nothing under gcc)
 #   4. simd-off: the full test suite re-run with CCL_SIMD=off so the scalar
 #      fallbacks of src/common/simd.h stay exercised and provably give the
 #      same query results as the SIMD paths (DESIGN.md §12)
 #   5. pmcheck: the full test suite re-run with CCL_PMCHECK=1 so every test
 #      workload doubles as a persistency-ordering check (DESIGN.md §11)
+#   5b. lockcheck: the full test suite (incl. the crash matrix) re-run with
+#      CCL_LOCKCHECK=1 so every test workload doubles as a locking-
+#      discipline check (DESIGN.md §16)
 #   6. crash: quick crash-injection matrix profile (ctest label "crash")
 #   6b. backend-matrix: the full test suite re-run under each non-default
 #      persistence-domain backend (CCL_BACKEND=eadr, then =cxl; DESIGN.md
@@ -32,11 +38,13 @@
 #      and requires detection), then fresh results staged at the
 #      bench/baselines/MANIFEST scale/filter and compared against the
 #      checked-in baselines — virtual metrics exact, wall within noise band
-#  10. ASan+UBSan on the pmsim + trace + GC-scheduling + pmcheck + simd +
-#      dram_btree test subset
+#  10. ASan+UBSan on the pmsim + trace + GC-scheduling + pmcheck + lockcheck
+#      + simd + dram_btree + media_model + service + crash_matrix + metrics
+#      test subset
 #  11. TSan on the same subset (gc_scheduling_test's kOsThread tests are the
 #      real-concurrency stress of the legacy GC thread; dram_btree_test's
-#      descent stress races optimistic readers against writers)
+#      descent stress races optimistic readers against writers;
+#      service_test's real-thread pinning regimes run instrumented here)
 #
 # The sanitizer passes cover the code with the trickiest concurrency story —
 # the lock-striped XPBuffer, sharded stats, the pmtrace ring/registry, and
@@ -45,7 +53,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-SANITIZE_FILTER="pmsim|trace|gc_scheduling|pmcheck|simd|dram_btree|media_model"
+SANITIZE_FILTER="pmsim|trace|gc_scheduling|pmcheck|lockcheck|simd|dram_btree|media_model|service|crash_matrix|metrics"
 
 echo "=== lint: lint_pm_api.py self-test + tree ==="
 python3 tools/lint_pm_api.py --self-test
@@ -66,6 +74,20 @@ else
   echo "=== clang-tidy: SKIPPED (clang-tidy not installed) ==="
 fi
 
+# Thread-safety analysis: the sync:: wrapper layer (src/common/lock.h) carries
+# clang CAPABILITY annotations and every guarded field is GUARDED_BY its
+# capability (DESIGN.md §16); -Wthread-safety -Werror makes lock discipline a
+# build-time invariant. Clang-only — the macros expand to nothing under gcc,
+# so the step self-skips when no clang++ is installed.
+if command -v clang++ >/dev/null 2>&1; then
+  echo "=== thread-safety: clang -Wthread-safety -Werror build ==="
+  cmake -B build-tsa -S . -DCMAKE_CXX_COMPILER=clang++ \
+    -DCMAKE_CXX_FLAGS="-Wthread-safety" -DWERROR=ON >/dev/null
+  cmake --build build-tsa -j"$(nproc)"
+else
+  echo "=== thread-safety: SKIPPED (clang++ not installed) ==="
+fi
+
 # Scalar-fallback pass: the same suite with SIMD dispatch forced off. Any
 # test that would pass only with the host's vector paths fails here, which
 # pins the contract that CCL_SIMD never changes query results.
@@ -78,6 +100,15 @@ CCL_SIMD=off ctest --test-dir build --output-on-failure -j"$(nproc)"
 # cclbtree workload, so checker regressions surface here.
 echo "=== pmcheck: ctest with CCL_PMCHECK=1 ==="
 CCL_PMCHECK=1 ctest --test-dir build --output-on-failure -j"$(nproc)"
+
+# Locking sanitizer pass: every test workload re-run with the lockcheck
+# shadow checker on — lockset intersection, lock-order cycles, and the
+# fence-publish cross-check all live (DESIGN.md §16). Includes the crash
+# matrix so lock state teardown across simulated crashes stays covered.
+# lockcheck_test additionally asserts zero diagnostics on real cclbtree and
+# service workloads, so checker regressions surface here.
+echo "=== lockcheck: ctest with CCL_LOCKCHECK=1 (incl. crash matrix) ==="
+CCL_LOCKCHECK=1 ctest --test-dir build --output-on-failure -j"$(nproc)"
 
 # Quick crash-matrix profile: reruns just the crash-labelled tests so a
 # crash-consistency regression is named explicitly in the CI log (DESIGN.md §9).

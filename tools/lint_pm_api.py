@@ -7,7 +7,7 @@ backend would live), and nothing inside a measured region may consult wall
 clocks or nondeterministic RNGs — virtual-metric tails are diffed bit-for-bit
 by the determinism CI gate (DESIGN.md s10).
 
-Rules (R1-R6; see RULES below for the authoritative patterns):
+Rules (R1-R7; see RULES below for the authoritative patterns):
   R1  raw persistence intrinsics (_mm_clwb/_mm_clflush*/_mm_sfence/...,
       __builtin_ia32_*, inline asm) outside src/pmsim/
   R2  wall-clock (std::chrono clocks, gettimeofday, sleep_for/sleep_until)
@@ -25,6 +25,14 @@ Rules (R1-R6; see RULES below for the authoritative patterns):
       sanctioned clock shim src/metrics/clock.h — everything wall-derived
       must flow through metrics::WallNowNs() so it stays quarantined in the
       .pmmetrics summary record, never the deterministic epoch series
+  R7  raw lock primitives (std::mutex/std::shared_mutex/pthread locks/
+      atomic_flag spins/hand-rolled acquire-ordered CAS or exchange loops)
+      outside src/common/lock.h — every lock must be a sync:: wrapper so the
+      clang thread-safety annotations and the lockcheck observer (DESIGN.md
+      s16) see every acquire; checker-internal mutexes opt out per line with
+      `lint_pm_api: allow` (their serialization must stay invisible to the
+      observer). One-shot relaxed exchange flags (crash_injector) do not
+      match: the patterns require acquire ordering inside a spin loop.
 
 Usage:
   tools/lint_pm_api.py [--root DIR]   # lint the tree, exit 1 on violations
@@ -81,6 +89,21 @@ NONDET_RNG_RE = re.compile(
     r"std::random_device|std::mt19937|\bsrand\s*\(|[^_\w.]rand\s*\(\s*\)"
 )
 
+# Raw lock primitives: standard mutex types, pthread locks, atomic_flag
+# spins, and hand-rolled lock loops (acquire-ordered exchange/CAS inside a
+# while — a relaxed one-shot exchange or a relaxed CAS max-counter loop is
+# not a lock and must not match).
+RAW_LOCK_RE = re.compile(
+    r"\bstd::(recursive_|timed_|recursive_timed_)?mutex\b"
+    r"|\bstd::shared_(timed_)?mutex\b"
+    r"|\bpthread_(mutex|rwlock|spin|cond)\w*"
+    r"|\.test_and_set\s*\("
+    r"|while\s*\(.*\.(exchange|compare_exchange_\w+)\s*\(.*memory_order_acquire"
+)
+
+# The one sanctioned home for lock primitives (DESIGN.md s16).
+LOCK_HOME = "src/common/lock.h"
+
 # (rule, regex, predicate(relpath) -> bool applies, message)
 RULES = [
     (
@@ -132,6 +155,14 @@ RULES = [
         lambda p: p.startswith("src/metrics/") and p != METRICS_CLOCK_HOME,
         "wall-clock read in metric recording outside the sanctioned shim "
         "src/metrics/clock.h (use metrics::WallNowNs)",
+    ),
+    (
+        "R7",
+        RAW_LOCK_RE,
+        lambda p: p != LOCK_HOME,
+        "raw lock primitive outside src/common/lock.h (use the annotated "
+        "sync:: wrappers so thread-safety analysis and lockcheck see every "
+        "acquire)",
     ),
 ]
 
@@ -204,6 +235,39 @@ SELF_TEST_CASES = [
     ("src/pmsim/real_backend.cc", "#include <immintrin.h>\nvoid f(char* p) { _mm_clwb(p); }\n", None),
     # Annotated escape hatch: must NOT fire.
     ("src/core/annotated.cc", "void f() { __asm__(\"\"); }  // lint_pm_api: allow\n", None),
+    # Raw std::mutex outside the sanctioned lock home.
+    ("src/core/bad_mutex.cc", "#include <mutex>\nstd::mutex m;\n", "R7"),
+    ("src/service/bad_rwlock.cc", "#include <shared_mutex>\nstd::shared_mutex m;\n", "R7"),
+    ("src/core/bad_pthread.cc", "pthread_mutex_t m;\n", "R7"),
+    (
+        "src/kvindex/bad_flag_spin.cc",
+        "#include <atomic>\nstd::atomic_flag f;\nvoid l() { while (f.test_and_set(std::memory_order_acquire)) {} }\n",
+        "R7",
+    ),
+    # Hand-rolled TTAS: acquire-ordered exchange in a spin loop.
+    (
+        "src/core/bad_cas_lock.cc",
+        "#include <atomic>\nvoid l(std::atomic<bool>& b) { while (b.exchange(true, std::memory_order_acquire)) {} }\n",
+        "R7",
+    ),
+    # src/common/lock.h is the sanctioned lock home: R7 must NOT fire.
+    (
+        "src/common/lock.h",
+        "#include <mutex>\nclass M { std::mutex mu_; };\n",
+        None,
+    ),
+    # One-shot relaxed exchange flag (crash_injector idiom): not a lock.
+    (
+        "src/pmsim/ok_oneshot.cc",
+        "#include <atomic>\nbool f(std::atomic<bool>& b) { return !b.exchange(true, std::memory_order_relaxed); }\n",
+        None,
+    ),
+    # Checker-internal mutex behind the per-line escape: must NOT fire.
+    (
+        "src/pmsim/ok_checker_mu.cc",
+        "#include <mutex>\nusing CheckerMutex = std::mutex;  // lint_pm_api: allow\n",
+        None,
+    ),
 ]
 
 

@@ -8,6 +8,7 @@
 //   pmctl heatmap <dump> [--cols N] ASCII XPLine write-count heatmap
 //   pmctl trace   <dump> [-o f]     Chrome trace-event JSON (Perfetto-loadable)
 //   pmctl check   <dump>            pmcheck persistency report; exit 3 on violations
+//   pmctl locks   <dump>            lockcheck locking report; exit 3 on violations
 //
 // It also reads the .pmmetrics JSON-lines time series written when
 // CCL_METRICS=<prefix> is set (src/bench/metrics_dump.h):
@@ -89,6 +90,29 @@ struct CheckClassRow {
   uint64_t info = 0;  // v2 dumps only; 0 for v1
 };
 
+// One recent-event line attached to a lockcheck diagnostic.
+struct LockEvent {
+  std::string kind;
+  std::string comp;
+  int worker = 0;
+  std::string lock;  // "-" when not lock-related
+  uint64_t detail = 0;
+};
+
+struct LockDiag {
+  std::string cls;
+  uint64_t line = 0;  // line-aligned pool offset; 0 for lock_cycle
+  std::string comp;
+  int worker = 0;
+  std::string lock;   // primary lock name ("none" when not lock-related)
+  std::string lock2;  // cycle-edge target for lock_cycle, else "none"
+  std::string detail;
+  // Informational diagnostic (fence_publish_gap without pmcheck
+  // confirmation). Never counts toward the exit status.
+  bool info = false;
+  std::vector<LockEvent> recent;
+};
+
 struct Dump {
   int version = 0;
   std::string label;
@@ -106,6 +130,11 @@ struct Dump {
   std::vector<std::pair<std::string, uint64_t>> pmcheck_stats;
   std::vector<CheckClassRow> pmcheck_classes;
   std::vector<CheckDiag> pmcheck_diags;
+  // lockcheck section (present iff the run had CCL_LOCKCHECK=1 / RunConfig on).
+  int lockcheck_version = 0;
+  std::vector<std::pair<std::string, uint64_t>> lockcheck_stats;
+  std::vector<CheckClassRow> lockcheck_classes;
+  std::vector<LockDiag> lockcheck_diags;
 };
 
 uint64_t Stat(const Dump& d, const std::string& name) {
@@ -222,6 +251,32 @@ bool ParseDump(const std::string& path, Dump& d) {
         return false;
       }
       d.pmcheck_diags.back().recent.push_back(std::move(ev));
+    } else if (kw == "lockcheck") {
+      ss >> d.lockcheck_version;
+    } else if (kw == "lockcheckstat") {
+      std::string name;
+      uint64_t value = 0;
+      ss >> name >> value;
+      d.lockcheck_stats.emplace_back(name, value);
+    } else if (kw == "lockcheckclass") {
+      CheckClassRow row;
+      ss >> row.name >> row.count >> row.suppressed >> row.info;
+      d.lockcheck_classes.push_back(row);
+    } else if (kw == "lockcheckdiag" || kw == "lockcheckinfo") {
+      LockDiag diag;
+      ss >> diag.cls >> diag.line >> diag.comp >> diag.worker >> diag.lock >> diag.lock2 >>
+          diag.detail;
+      diag.info = kw == "lockcheckinfo";
+      d.lockcheck_diags.push_back(std::move(diag));
+    } else if (kw == "lockcheckev") {
+      LockEvent ev;
+      ss >> ev.kind >> ev.comp >> ev.worker >> ev.lock >> ev.detail;
+      if (d.lockcheck_diags.empty()) {
+        std::cerr << "pmctl: " << path << ":" << lineno
+                  << ": lockcheckev outside a diagnostic\n";
+        return false;
+      }
+      d.lockcheck_diags.back().recent.push_back(std::move(ev));
     } else {
       // Unknown keyword: skip (forward compatibility with newer dumps).
       continue;
@@ -454,6 +509,11 @@ int CmdCheck(const Dump& d) {
   }
   for (const auto& [name, value] : d.pmcheck_stats) {
     std::printf("  %-22s %14llu\n", name.c_str(), static_cast<unsigned long long>(value));
+    if (name == "diagnostics_truncated" && value != 0) {
+      std::printf("  WARNING: %llu diagnostic(s) beyond the retention cap were counted "
+                  "but not materialized — the list below is incomplete\n",
+                  static_cast<unsigned long long>(value));
+    }
   }
   std::printf("\n-- violations by class --\n");
   for (const CheckClassRow& row : d.pmcheck_classes) {
@@ -478,6 +538,69 @@ int CmdCheck(const Dump& d) {
                     ev.kind.c_str(), ev.comp.c_str(), ev.worker,
                     static_cast<unsigned long long>(ev.detail),
                     static_cast<unsigned long long>(ev.fence_epoch));
+      }
+    }
+  }
+  return total == 0 ? 0 : 3;
+}
+
+// Locking report from the dump's lockcheck section (DESIGN.md §16).
+// Exit status: 0 clean, 2 checker was not enabled for the run, 3 violations.
+int CmdLocks(const Dump& d) {
+  if (d.lockcheck_version == 0) {
+    std::printf("run %s: lockcheck was not enabled for this run\n", d.label.c_str());
+    std::printf("(rerun with CCL_LOCKCHECK=1 and CCL_TRACE=<prefix> to produce a checked "
+                "dump)\n");
+    return 2;
+  }
+  uint64_t total = 0;
+  uint64_t suppressed = 0;
+  uint64_t info = 0;
+  for (const CheckClassRow& row : d.lockcheck_classes) {
+    total += row.count;
+    suppressed += row.suppressed;
+    info += row.info;
+  }
+  // Informational counts (fence_publish_gap without pmcheck confirmation)
+  // are reported but never gate the exit status.
+  std::printf("run %s: lockcheck %s — %llu violation(s), %llu informational, %llu "
+              "suppressed\n",
+              d.label.c_str(), total == 0 ? "CLEAN" : "VIOLATIONS",
+              static_cast<unsigned long long>(total), static_cast<unsigned long long>(info),
+              static_cast<unsigned long long>(suppressed));
+  for (const auto& [name, value] : d.lockcheck_stats) {
+    std::printf("  %-22s %14llu\n", name.c_str(), static_cast<unsigned long long>(value));
+    if (name == "diagnostics_truncated" && value != 0) {
+      std::printf("  WARNING: %llu diagnostic(s) beyond the retention cap were counted "
+                  "but not materialized — the list below is incomplete\n",
+                  static_cast<unsigned long long>(value));
+    }
+  }
+  std::printf("\n-- violations by class --\n");
+  for (const CheckClassRow& row : d.lockcheck_classes) {
+    std::printf("  %-22s %14llu   (%llu info, %llu suppressed)\n", row.name.c_str(),
+                static_cast<unsigned long long>(row.count),
+                static_cast<unsigned long long>(row.info),
+                static_cast<unsigned long long>(row.suppressed));
+  }
+  if (!d.lockcheck_diags.empty()) {
+    std::printf("\n-- diagnostics --\n");
+    size_t i = 0;
+    for (const LockDiag& diag : d.lockcheck_diags) {
+      std::printf("[%zu] %s%s: %s\n", i++, diag.cls.c_str(), diag.info ? " (info)" : "",
+                  diag.detail.c_str());
+      if (diag.cls == "lock_cycle") {
+        std::printf("    order edge %s -> %s, component %s, worker %d\n", diag.lock.c_str(),
+                    diag.lock2.c_str(), diag.comp.c_str(), diag.worker);
+      } else {
+        std::printf("    line 0x%llx, lock %s, component %s, worker %d\n",
+                    static_cast<unsigned long long>(diag.line), diag.lock.c_str(),
+                    diag.comp.c_str(), diag.worker);
+      }
+      for (const LockEvent& ev : diag.recent) {
+        std::printf("      ... %-8s comp=%-10s worker=%-3d lock=%-18s detail=0x%llx\n",
+                    ev.kind.c_str(), ev.comp.c_str(), ev.worker, ev.lock.c_str(),
+                    static_cast<unsigned long long>(ev.detail));
       }
     }
   }
@@ -682,17 +805,19 @@ int CmdSeries(const metrics::PmMetricsFile& f, bool json) {
 
 int Usage() {
   std::cerr
-      << "usage: pmctl <stats|watch|heatmap|trace|check|top|series> <dump> [options]\n"
+      << "usage: pmctl <stats|watch|heatmap|trace|check|locks|top|series> <dump> [options]\n"
          "  stats   <dump.pmtrace>              counters, amplification, per-component breakdown\n"
          "  watch   <dump.pmtrace>              stats timeline as per-interval rates\n"
          "  heatmap <dump.pmtrace> [--cols N]   ASCII XPLine write heatmap (default 64 cols)\n"
          "  trace   <dump.pmtrace> [-o f.json]  Chrome trace JSON to f.json (default stdout)\n"
          "  check   <dump.pmtrace>              pmcheck persistency report; exit 3 on violations\n"
+         "  locks   <dump.pmtrace>              lockcheck locking report; exit 3 on violations\n"
          "  top     <dump.pmmetrics>            terminal dashboard (one-shot; `watch -n1` for live)\n"
          "  series  <dump.pmmetrics> [--json]   per-epoch series as CSV (default) or JSON lines;\n"
          "                                      exit 3 on component-sum violation\n"
          "Produce .pmtrace dumps by running any bench with CCL_TRACE=<path-prefix>\n"
-         "(add CCL_PMCHECK=1 for a dump `pmctl check` can report on), and\n"
+         "(add CCL_PMCHECK=1 / CCL_LOCKCHECK=1 for dumps `pmctl check` / `pmctl locks`\n"
+         "can report on), and\n"
          ".pmmetrics dumps with CCL_METRICS=<path-prefix>.\n";
   return 64;
 }
@@ -727,6 +852,9 @@ int Main(int argc, char** argv) {
   }
   if (cmd == "stats") {
     return CmdStats(d);
+  }
+  if (cmd == "locks") {
+    return CmdLocks(d);
   }
   if (cmd == "check") {
     return CmdCheck(d);
